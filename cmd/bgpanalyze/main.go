@@ -1,0 +1,147 @@
+// Bgpanalyze classifies a collector log and prints the paper's tables and
+// figures computed from it — the role the XYZ toolkit played for the
+// original study.
+//
+// Usage:
+//
+//	bgpanalyze -in maeeast.irtl.gz                 # summary
+//	bgpanalyze -in maeeast.irtl.gz -id fig8        # one figure
+//	bgpanalyze -in maeeast.irtl.gz -id all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"instability"
+	"instability/internal/collector"
+	"instability/internal/core"
+	"instability/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bgpanalyze: ")
+	var (
+		in  = flag.String("in", "", "input log file")
+		id  = flag.String("id", "summary", "what to print: summary, table1, fig2..fig10, all")
+		day = flag.String("day", "", "day for table1 (YYYY-MM-DD, default: busiest)")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("missing -in")
+	}
+
+	r, exchangeName, err := collector.OpenAny(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	p := instability.NewPipeline()
+	n, err := instability.ClassifyLog(r, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if exchangeName == "" {
+		exchangeName = "MRT"
+	}
+	fmt.Printf("classified %d records from %s (%s)\n\n", n, *in, exchangeName)
+
+	table1Day := busiestDay(p.Acc)
+	if *day != "" {
+		var t core.Date
+		parsed, err := parseDate(*day)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t = parsed
+		table1Day = t
+	}
+
+	show := func(name string) {
+		switch name {
+		case "summary":
+			printSummary(p)
+		case "table1":
+			fmt.Println(report.Table1(p.Acc, table1Day))
+		case "fig2":
+			fmt.Println(report.Fig2(p.Acc))
+		case "fig3":
+			fmt.Println(report.Fig3(p.Acc, nil))
+		case "fig4":
+			dates := p.Acc.Dates()
+			if len(dates) > 7 {
+				fmt.Println(report.Fig4(p.Acc, dates[len(dates)/2]))
+			}
+		case "fig5":
+			fmt.Println(report.Fig5(p.Acc, 1))
+		case "fig6":
+			fmt.Println(report.Fig6(p.Acc))
+		case "fig7":
+			fmt.Println(report.Fig7(p.Acc))
+		case "fig8":
+			fmt.Println(report.Fig8(p.Acc))
+		case "fig9":
+			fmt.Println(report.Fig9(p.Acc, nil))
+		case "fig10":
+			fmt.Println(report.Fig10(p.CensusByDay))
+		default:
+			log.Fatalf("unknown -id %q", name)
+		}
+	}
+	if *id == "all" {
+		for _, name := range []string{"summary", "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
+			show(name)
+			fmt.Println()
+		}
+		return
+	}
+	show(*id)
+}
+
+func printSummary(p *instability.Pipeline) {
+	tot := p.Acc.TotalCounts()
+	all := 0
+	for _, v := range tot {
+		all += v
+	}
+	fmt.Println("taxonomy breakdown:")
+	for _, c := range core.Classes() {
+		fmt.Printf("  %-7s %12s (%.1f%%)\n", c, report.FormatCount(tot[c]), 100*float64(tot[c])/float64(all))
+	}
+	instab := tot[core.AADiff] + tot[core.WADiff] + tot[core.WADup]
+	path := tot[core.AADup] + tot[core.WWDup]
+	fmt.Printf("instability %s, pathological %s (%.1fx)\n",
+		report.FormatCount(instab), report.FormatCount(path), float64(path)/float64(max(instab, 1)))
+	census := p.Table.TakeCensus()
+	fmt.Printf("final table: %d prefixes, %d multihomed (%.0f%%), %d origin ASes, %d unique paths\n",
+		census.Prefixes, census.Multihomed, census.MultihomedShare()*100, census.OriginASes, census.UniquePaths)
+}
+
+func busiestDay(acc *core.Accumulator) core.Date {
+	var best core.Date
+	bestN := -1
+	for _, d := range acc.Dates() {
+		if n := acc.Days[d].Total(); n > bestN {
+			best, bestN = d, n
+		}
+	}
+	return best
+}
+
+func parseDate(s string) (core.Date, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("bad date %q: %v", s, err)
+	}
+	return core.DateOf(t), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,149 @@
+// Bgpcollect is a route-server collector speaking real BGP-4 over TCP: it
+// listens for peering sessions, completes the OPEN/KEEPALIVE handshake, and
+// logs every received update in collector format — a minimal Routing Arbiter
+// route server.
+//
+// Usage:
+//
+//	bgpcollect -listen :1790 -as 6000 -id 198.32.186.250 -out live.irtl.gz
+//
+// Point any BGP speaker at the listen port; stop with SIGINT. The -maxconns
+// flag (default unlimited) makes the collector exit after that many sessions
+// close, which keeps scripted runs bounded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/collector"
+	"instability/internal/netaddr"
+	"instability/internal/session"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bgpcollect: ")
+	var (
+		listen   = flag.String("listen", ":1790", "TCP listen address")
+		asn      = flag.Uint("as", 6000, "local AS number")
+		id       = flag.String("id", "198.32.186.250", "local BGP identifier")
+		out      = flag.String("out", "collected.irtl.gz", "output log file")
+		exchName = flag.String("exchange", "live", "exchange name recorded in the log header")
+		hold     = flag.Duration("hold", 90*time.Second, "proposed hold time")
+		maxConns = flag.Int("maxconns", 0, "exit after this many sessions close (0 = run until SIGINT)")
+	)
+	flag.Parse()
+
+	localID, err := netaddr.ParseAddr(*id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := collector.Create(*out, *exchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var mu sync.Mutex // serializes log writes across sessions
+	writeRec := func(rec collector.Record) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err := w.Write(rec); err != nil {
+			log.Printf("write: %v", err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s as AS%d/%s, logging to %s", ln.Addr(), *asn, localID, *out)
+
+	done := make(chan struct{})
+	closed := make(chan struct{}, 128)
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		n := 0
+		for {
+			select {
+			case <-sig:
+				close(done)
+				ln.Close()
+				return
+			case <-closed:
+				n++
+				if *maxConns > 0 && n >= *maxConns {
+					close(done)
+					ln.Close()
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break // listener closed
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer func() { closed <- struct{}{} }()
+			serve(conn, bgp.ASN(*asn), localID, *hold, writeRec)
+		}(conn)
+	}
+	wg.Wait()
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	if err := w.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	fmt.Printf("logged %d records to %s\n", w.Count(), *out)
+}
+
+// serve runs one peering session over an accepted connection.
+func serve(conn net.Conn, localAS bgp.ASN, localID netaddr.Addr, hold time.Duration, writeRec func(collector.Record)) {
+	remote := conn.RemoteAddr()
+	var peerAS bgp.ASN
+	var peerID netaddr.Addr
+	var r *session.Runner
+	cb := session.Callbacks{
+		Established: func() {
+			peerAS, peerID = r.Peer().PeerAS(), r.Peer().PeerID()
+			log.Printf("session with %v established (AS%d, id %v)", remote, peerAS, peerID)
+			writeRec(collector.Record{Time: time.Now().UTC(), Type: collector.SessionUp, PeerAS: peerAS, PeerAddr: peerID})
+		},
+		Down: func(err error) {
+			log.Printf("session with %v down: %v", remote, err)
+			writeRec(collector.Record{Time: time.Now().UTC(), Type: collector.SessionDown, PeerAS: peerAS, PeerAddr: peerID})
+		},
+		Update: func(u bgp.Update) {
+			now := time.Now().UTC()
+			for _, p := range u.Withdrawn {
+				writeRec(collector.Record{Time: now, Type: collector.Withdraw, PeerAS: peerAS, PeerAddr: peerID, Prefix: p})
+			}
+			for _, p := range u.Announced {
+				writeRec(collector.Record{Time: now, Type: collector.Announce, PeerAS: peerAS, PeerAddr: peerID, Prefix: p, Attrs: u.Attrs})
+			}
+		},
+	}
+	r = session.NewRunner(session.Config{
+		LocalAS:  localAS,
+		LocalID:  localID,
+		HoldTime: hold,
+		MRAI:     0,
+	}, conn, cb)
+	if err := r.Run(); err != nil {
+		log.Printf("session with %v ended: %v", remote, err)
+	}
+}

@@ -1,0 +1,126 @@
+// Bgpreplay replays a recorded update log as a live BGP speaker: it dials a
+// collector (such as bgpcollect), completes the OPEN handshake, and re-sends
+// the log's announcements and withdrawals over TCP with their original
+// relative timing (optionally compressed). Together with bgpsim and
+// bgpcollect this closes the loop: synthesize a campaign, replay it as real
+// protocol traffic, collect it again, and analyze the result.
+//
+// Usage:
+//
+//	bgpreplay -in maeeast.irtl.gz -connect 127.0.0.1:1790 -speedup 600
+//	bgpreplay -in maeeast.irtl.gz -connect 127.0.0.1:1790 -peer 690 -as 690
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/collector"
+	"instability/internal/netaddr"
+	"instability/internal/session"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bgpreplay: ")
+	var (
+		in        = flag.String("in", "", "input log (native or MRT)")
+		connect   = flag.String("connect", "127.0.0.1:1790", "collector address")
+		asn       = flag.Uint("as", 690, "local AS number")
+		id        = flag.String("id", "198.32.186.1", "local BGP identifier")
+		peer      = flag.Uint("peer", 0, "replay only records from this peer AS (0 = all, rewritten to the local identity)")
+		speedup   = flag.Float64("speedup", 600, "time compression factor (600 = one simulated hour per 6 wall seconds)")
+		limit     = flag.Int("n", 0, "stop after this many records (0 = all)")
+		stateless = flag.Bool("stateless", false, "replay as the stateless vendor: withdrawals are sent even for never-advertised prefixes, reproducing the log's WWDups on the wire")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("missing -in")
+	}
+	localID, err := netaddr.ParseAddr(*id)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r, _, err := collector.OpenAny(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+
+	conn, err := net.Dial("tcp", *connect)
+	if err != nil {
+		log.Fatal(err)
+	}
+	established := make(chan struct{}, 1)
+	runner := session.NewRunner(session.Config{
+		LocalAS:   bgp.ASN(*asn),
+		LocalID:   localID,
+		HoldTime:  90 * time.Second,
+		MRAI:      0,
+		Stateless: *stateless,
+	}, conn, session.Callbacks{
+		Established: func() { established <- struct{}{} },
+		Down:        func(err error) { log.Printf("session down: %v", err) },
+	})
+	done := make(chan error, 1)
+	go func() { done <- runner.Run() }()
+	select {
+	case <-established:
+	case err := <-done:
+		log.Fatalf("session never established: %v", err)
+	case <-time.After(30 * time.Second):
+		log.Fatal("timeout establishing session")
+	}
+	log.Printf("established with %s; replaying %s at %gx", *connect, *in, *speedup)
+
+	var sent int
+	var prev time.Time
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rec.Type != collector.Announce && rec.Type != collector.Withdraw {
+			continue
+		}
+		if *peer != 0 && uint(rec.PeerAS) != *peer {
+			continue
+		}
+		if !prev.IsZero() && *speedup > 0 {
+			gap := rec.Time.Sub(prev)
+			if wait := time.Duration(float64(gap) / *speedup); wait > 0 {
+				if wait > 5*time.Second {
+					wait = 5 * time.Second // cap idle stretches
+				}
+				time.Sleep(wait)
+			}
+		}
+		prev = rec.Time
+		runner.Do(func(p *session.Peer) {
+			switch rec.Type {
+			case collector.Announce:
+				p.Announce(rec.Prefix, rec.Attrs)
+			case collector.Withdraw:
+				p.Withdraw(rec.Prefix)
+			}
+		})
+		sent++
+		if *limit > 0 && sent >= *limit {
+			break
+		}
+	}
+	// Let the final flush drain before closing.
+	time.Sleep(200 * time.Millisecond)
+	runner.Close()
+	<-done
+	fmt.Printf("replayed %d records\n", sent)
+}

@@ -1,0 +1,94 @@
+// Bgpsim runs a measurement scenario and writes the observed update stream
+// as a collector log (gzip-compressed when the output name ends in .gz) —
+// the synthetic stand-in for the Routing Arbiter archive.
+//
+// Usage:
+//
+//	bgpsim -out maeeast.irtl.gz -days 214 -scale paper
+//	bgpsim -out week.irtl -days 7 -scale small -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"instability/internal/collector"
+	"instability/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bgpsim: ")
+	var (
+		out      = flag.String("out", "updates.irtl.gz", "output log file (.gz for compression)")
+		days     = flag.Int("days", 0, "override scenario length in days")
+		seed     = flag.Int64("seed", 0, "override random seed")
+		exchange = flag.String("exchange", "", "exchange point (Mae-East, Sprint, AADS, PacBell, Mae-West)")
+		scale    = flag.String("scale", "paper", "scenario scale: paper (7 months) or small (1 week)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	var cfg workload.Config
+	switch *scale {
+	case "paper":
+		cfg = workload.DefaultConfig()
+	case "small":
+		cfg = workload.SmallConfig()
+	default:
+		log.Fatalf("unknown -scale %q", *scale)
+	}
+	if *days > 0 {
+		cfg.Days = *days
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *exchange != "" {
+		cfg.Exchange = *exchange
+	}
+
+	g, err := workload.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ".mrt"/".mrt.gz" output selects RFC 6396 BGP4MP format for interop
+	// with external tools; everything else uses the native log format.
+	var write func(collector.Record) error
+	var closeLog func() error
+	var count func() int
+	if strings.HasSuffix(*out, ".mrt") || strings.HasSuffix(*out, ".mrt.gz") {
+		w, err := collector.CreateMRT(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		write, closeLog, count = w.Write, w.Close, w.Count
+	} else {
+		w, err := collector.Create(*out, cfg.Exchange)
+		if err != nil {
+			log.Fatal(err)
+		}
+		write, closeLog, count = w.Write, w.Close, w.Count
+	}
+	start := time.Now()
+	stats := g.Run(func(rec collector.Record) {
+		if err := write(rec); err != nil {
+			log.Fatal(err)
+		}
+	}, func(day int, end time.Time) {
+		if !*quiet && (day+1)%30 == 0 {
+			fmt.Fprintf(os.Stderr, "  ... %d/%d days, %d records\n", day+1, cfg.Days, count())
+		}
+	})
+	if err := closeLog(); err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		fmt.Printf("wrote %d records (%d routes at %s, %d days) to %s in %v\n",
+			stats.Records, g.Routes(), cfg.Exchange, stats.Days, *out, time.Since(start).Round(time.Millisecond))
+	}
+}

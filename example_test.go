@@ -1,0 +1,47 @@
+package instability_test
+
+import (
+	"fmt"
+	"time"
+
+	"instability"
+	"instability/internal/bgp"
+	"instability/internal/collector"
+	"instability/internal/netaddr"
+)
+
+// Example classifies a tiny hand-built update stream: a first announcement,
+// an exact duplicate (AADup), a withdrawal, an identical re-announcement
+// (WADup), and a spurious withdrawal from a peer that never announced the
+// prefix (WWDup) — the paper's §4 taxonomy in five records.
+func Example() {
+	t0 := time.Date(1996, 8, 1, 12, 0, 0, 0, time.UTC)
+	peerX := netaddr.MustParseAddr("198.32.186.1")
+	peerY := netaddr.MustParseAddr("198.32.186.7")
+	prefix := netaddr.MustParsePrefix("192.42.113.0/24")
+	attrs := bgp.Attrs{
+		Origin:  bgp.OriginIGP,
+		Path:    bgp.PathFromASNs(690, 237),
+		NextHop: peerX,
+	}
+
+	stream := []instability.Record{
+		{Time: t0, Type: collector.Announce, PeerAS: 690, PeerAddr: peerX, Prefix: prefix, Attrs: attrs},
+		{Time: t0.Add(30 * time.Second), Type: collector.Announce, PeerAS: 690, PeerAddr: peerX, Prefix: prefix, Attrs: attrs},
+		{Time: t0.Add(60 * time.Second), Type: collector.Withdraw, PeerAS: 690, PeerAddr: peerX, Prefix: prefix},
+		{Time: t0.Add(90 * time.Second), Type: collector.Announce, PeerAS: 690, PeerAddr: peerX, Prefix: prefix, Attrs: attrs},
+		{Time: t0.Add(91 * time.Second), Type: collector.Withdraw, PeerAS: 701, PeerAddr: peerY, Prefix: prefix},
+	}
+
+	p := instability.NewPipeline()
+	for _, rec := range stream {
+		ev := p.Feed(rec)
+		fmt.Printf("%-4s from %s -> %s\n", rec.Type, rec.PeerAS, ev.Class)
+	}
+	// Output:
+	// A    from AS690 -> Other
+	// A    from AS690 -> AADup
+	// W    from AS690 -> Other
+	// A    from AS690 -> WADup
+	// W    from AS701 -> WWDup
+}

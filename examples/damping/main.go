@@ -1,0 +1,64 @@
+// Damping demonstrates the deployed countermeasure the paper discusses
+// (§3): route flap damping holds down a persistently flapping prefix — and
+// also shows its cost, delaying a legitimate announcement after the flapping
+// stops.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/damping"
+	"instability/internal/events"
+	"instability/internal/netaddr"
+	"instability/internal/router"
+	"instability/internal/session"
+)
+
+func main() {
+	sim := events.New(7)
+	cfg := damping.DefaultConfig()
+	fmt.Printf("damping: suppress at penalty %.0f, reuse below %.0f, half-life %v\n\n",
+		cfg.SuppressThreshold, cfg.ReuseThreshold, cfg.HalfLife)
+
+	protected := router.New(sim, router.Config{
+		AS: 200, ID: 2, Damping: &cfg, Session: session.Config{MRAI: 0},
+	})
+	exposed := router.New(sim, router.Config{AS: 300, ID: 3, Session: session.Config{MRAI: 0}})
+	flapper := router.New(sim, router.Config{AS: 100, ID: 1, Session: session.Config{MRAI: 0}})
+	router.Connect(sim, flapper, protected, time.Millisecond)
+	router.Connect(sim, flapper, exposed, time.Millisecond)
+	sim.RunFor(5 * time.Second)
+
+	prefix := netaddr.MustParsePrefix("192.42.113.0/24")
+	fmt.Println("flapping", prefix, "every minute for 10 cycles...")
+	for i := 0; i < 10; i++ {
+		flapper.Originate(prefix, bgp.OriginIGP)
+		sim.RunFor(30 * time.Second)
+		flapper.WithdrawOrigin(prefix)
+		sim.RunFor(30 * time.Second)
+	}
+	fmt.Printf("  damped router: %d updates suppressed, %d processed\n",
+		protected.Metrics().DampedUpdates, protected.Metrics().UpdatesProcessed)
+	fmt.Printf("  exposed router: 0 suppressed, %d processed\n",
+		exposed.Metrics().UpdatesProcessed)
+
+	fmt.Println("\nnetwork stabilizes; origin announces one final, legitimate route:")
+	flapper.Originate(prefix, bgp.OriginIGP)
+	sim.RunFor(time.Second)
+	_, _, okProtected := protected.RIB().Best(prefix)
+	_, _, okExposed := exposed.RIB().Best(prefix)
+	fmt.Printf("  immediately: exposed has route=%v, damped has route=%v (held down)\n", okExposed, okProtected)
+
+	// The suppressed route sits on the reuse list; once the penalty decays
+	// below the reuse threshold the router installs it automatically.
+	waited := time.Duration(0)
+	for !okProtected && waited < 3*time.Hour {
+		sim.RunFor(5 * time.Minute)
+		waited += 5 * time.Minute
+		_, _, okProtected = protected.RIB().Best(prefix)
+	}
+	fmt.Printf("  damped router accepted the route after ~%v of artificial unreachability\n", waited)
+	fmt.Println("\ndamping suppressed the noise but delayed legitimate connectivity — the trade-off §3 describes.")
+}

@@ -1,0 +1,3 @@
+module instability
+
+go 1.22

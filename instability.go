@@ -1,0 +1,154 @@
+// Package instability is a library-scale reproduction of "Internet Routing
+// Instability" (Labovitz, Malan, Jahanian; SIGCOMM 1997): the update
+// taxonomy (WADiff, AADiff, WADup, AADup, WWDup), a streaming classifier, a
+// BGP-4 protocol stack with the 1996-era vendor behaviors that generated the
+// pathologies, route-server collectors at simulated exchange points, a
+// nine-month workload generator, and the statistical machinery (FFT, Burg
+// maximum-entropy spectra, singular-spectrum analysis, inter-arrival
+// histograms) behind every figure and table in the paper's evaluation.
+//
+// This root package wires the pieces into the standard measurement pipeline:
+// update records flow through the classifier into per-day statistics while a
+// RIB mirror maintains the routing-table census (table size, multihoming).
+// Subsystems live in internal packages; everything a downstream user needs
+// is re-exported or reachable from here.
+//
+// Quick start:
+//
+//	p := instability.NewPipeline()
+//	stats, err := instability.RunScenario(workload.SmallConfig(), p)
+//	fmt.Println(p.Acc.TotalCounts())
+package instability
+
+import (
+	"io"
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/collector"
+	"instability/internal/core"
+	"instability/internal/rib"
+	"instability/internal/workload"
+)
+
+// Pipeline is the standard analysis chain: classifier, per-day accumulator,
+// and a RIB mirror for routing-table censuses.
+type Pipeline struct {
+	// Classifier holds per-(peer,prefix) tuple history.
+	Classifier *core.Classifier
+	// Acc aggregates classified events per day.
+	Acc *core.Accumulator
+	// Table mirrors the collector's routing table for census purposes.
+	Table *rib.RIB
+	// CensusByDay snapshots the table census at each day end.
+	CensusByDay map[core.Date]rib.Census
+
+	// Events, when set, observes every classified event.
+	Events func(core.Event)
+}
+
+// NewPipeline returns an empty pipeline.
+func NewPipeline() *Pipeline {
+	return &Pipeline{
+		Classifier:  core.NewClassifier(),
+		Acc:         core.NewAccumulator(),
+		Table:       rib.New(0),
+		CensusByDay: make(map[core.Date]rib.Census),
+	}
+}
+
+// Feed classifies one record and folds it into the statistics.
+func (p *Pipeline) Feed(rec collector.Record) core.Event {
+	ev := p.Classifier.Classify(rec)
+	p.Acc.Add(ev)
+	peer := rib.PeerID{AS: rec.PeerAS, ID: rec.PeerAddr}
+	switch rec.Type {
+	case collector.Announce:
+		p.Table.Update(peer, rec.Prefix, rec.Attrs)
+	case collector.Withdraw:
+		p.Table.Withdraw(peer, rec.Prefix)
+	}
+	if p.Events != nil {
+		p.Events(ev)
+	}
+	return ev
+}
+
+// EndDay records the end-of-day routing table snapshot for date.
+func (p *Pipeline) EndDay(date core.Date) {
+	p.Acc.EndDay(p.Classifier, date)
+	p.CensusByDay[date] = p.Table.TakeCensus()
+}
+
+// RunScenario generates the configured workload through the pipeline and
+// returns the generator statistics. The pipeline's day snapshots are taken
+// automatically.
+func RunScenario(cfg workload.Config, p *Pipeline) (workload.Stats, *workload.Generator, error) {
+	g, err := workload.New(cfg)
+	if err != nil {
+		return workload.Stats{}, nil, err
+	}
+	stats := g.Run(
+		func(rec collector.Record) { p.Feed(rec) },
+		func(day int, end time.Time) { p.EndDay(core.DateOf(end.Add(-time.Second))) },
+	)
+	return stats, g, nil
+}
+
+// ClassifyLog streams a collector log (native or MRT) through the pipeline,
+// taking a day snapshot at each date boundary. It returns the number of
+// records read.
+func ClassifyLog(r collector.RecordReader, p *Pipeline) (int, error) {
+	n := 0
+	var cur core.Date
+	haveDay := false
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		d := core.DateOf(rec.Time)
+		if haveDay && d != cur {
+			p.EndDay(cur)
+		}
+		cur, haveDay = d, true
+		p.Feed(rec)
+		n++
+	}
+	if haveDay {
+		p.EndDay(cur)
+	}
+	return n, nil
+}
+
+// Re-exported core vocabulary, so downstream users rarely need the internal
+// paths.
+type (
+	// Record is one logged routing update observation.
+	Record = collector.Record
+	// Class is a taxonomy bucket.
+	Class = core.Class
+	// Event is a classified record.
+	Event = core.Event
+	// PrefixAS is the paper's per-route aggregation key.
+	PrefixAS = core.PrefixAS
+	// PeerKey identifies an exchange peer.
+	PeerKey = core.PeerKey
+	// Date is a UTC civil date.
+	Date = core.Date
+	// ASN is a 16-bit autonomous system number.
+	ASN = bgp.ASN
+)
+
+// Taxonomy constants.
+const (
+	Other  = core.Other
+	AADiff = core.AADiff
+	AADup  = core.AADup
+	WADiff = core.WADiff
+	WADup  = core.WADup
+	WWDup  = core.WWDup
+)

@@ -1,0 +1,95 @@
+package analysis
+
+import "math"
+
+// Burg fits an autoregressive model of the given order to xs using Burg's
+// method (the maximum-entropy spectral estimator, "MEM" in the paper's
+// Figure 5a). It returns the AR coefficients a[1..order] (a[0] is implied 1)
+// and the white-noise driving variance.
+//
+// The model is x_t = sum_k a_k x_{t-k} + e_t; the spectrum follows as
+// sigma2 / |1 - sum_k a_k e^{-i 2 pi f k}|^2.
+func Burg(xs []float64, order int) (coeffs []float64, sigma2 float64) {
+	n := len(xs)
+	if order < 1 || n <= order {
+		panic("analysis: Burg order must be in [1, len(xs))")
+	}
+	f := append([]float64(nil), xs...)
+	b := append([]float64(nil), xs...)
+	a := make([]float64, order+1)
+	prev := make([]float64, order+1)
+	a[0] = 1
+
+	// Initial prediction error power.
+	e := 0.0
+	for _, x := range xs {
+		e += x * x
+	}
+	e /= float64(n)
+	if e == 0 {
+		return make([]float64, order), 0
+	}
+
+	for m := 1; m <= order; m++ {
+		// Reflection coefficient.
+		var num, den float64
+		for i := m; i < n; i++ {
+			num += f[i] * b[i-1]
+			den += f[i]*f[i] + b[i-1]*b[i-1]
+		}
+		k := 0.0
+		if den != 0 {
+			k = 2 * num / den
+		}
+		// Update AR coefficients (Levinson recursion).
+		copy(prev, a)
+		for i := 1; i <= m; i++ {
+			a[i] = prev[i] - k*prev[m-i]
+		}
+		e *= 1 - k*k
+		// Update forward/backward prediction errors.
+		for i := n - 1; i >= m; i-- {
+			fi := f[i]
+			f[i] = fi - k*b[i-1]
+			b[i] = b[i-1] - k*fi
+		}
+	}
+	// The recursion accumulates the prediction-error polynomial
+	// A(z) = 1 + sum a_i z^-i; the model coefficients are their negation.
+	coeffs = make([]float64, order)
+	for i := 1; i <= order; i++ {
+		coeffs[i-1] = -a[i]
+	}
+	return coeffs, e
+}
+
+// BurgSpectrum evaluates the maximum-entropy power spectral density of the
+// AR model at nfreq evenly spaced frequencies in [0, 0.5] cycles/sample.
+func BurgSpectrum(coeffs []float64, sigma2 float64, nfreq int) (freqs, power []float64) {
+	freqs = make([]float64, nfreq)
+	power = make([]float64, nfreq)
+	for i := 0; i < nfreq; i++ {
+		f := 0.5 * float64(i) / float64(nfreq-1)
+		freqs[i] = f
+		// Denominator |1 - sum a_k e^{-i2pifk}|^2.
+		re, im := 1.0, 0.0
+		for k, a := range coeffs {
+			ang := -2 * math.Pi * f * float64(k+1)
+			re -= a * math.Cos(ang)
+			im -= a * math.Sin(ang)
+		}
+		den := re*re + im*im
+		if den < 1e-12 {
+			den = 1e-12
+		}
+		power[i] = sigma2 / den
+	}
+	return freqs, power
+}
+
+// MEMSpectrum is a convenience wrapper: fit Burg of the given order to xs
+// (mean-removed) and evaluate the spectrum at nfreq points.
+func MEMSpectrum(xs []float64, order, nfreq int) (freqs, power []float64) {
+	coeffs, sigma2 := Burg(Demean(xs), order)
+	return BurgSpectrum(coeffs, sigma2, nfreq)
+}

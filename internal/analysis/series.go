@@ -1,0 +1,216 @@
+// Package analysis provides the time-series and distribution statistics the
+// paper's evaluation uses: least-squares detrending of log-transformed update
+// rates, autocorrelation, FFT periodograms, Burg maximum-entropy spectral
+// estimation, singular-spectrum analysis, inter-arrival histograms, and
+// cumulative distributions — all implemented from scratch on the standard
+// library.
+package analysis
+
+import (
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// LinearFit fits y = a + b*x by least squares over implicit x = 0..n-1 and
+// returns intercept a and slope b.
+func LinearFit(ys []float64) (a, b float64) {
+	n := float64(len(ys))
+	if n == 0 {
+		return 0, 0
+	}
+	if n == 1 {
+		return ys[0], 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i, y := range ys {
+		x := float64(i)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return sy / n, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b
+}
+
+// LogDetrend applies the paper's §5.1 filtering: model the rate as
+// x_t = T_t * I_t, take logarithms so log x = log T + log I, remove the
+// linear trend in log space by least squares, and return the residual
+// (log I_t, which oscillates about zero). Zero counts are floored at 1 before
+// the log so empty aggregation slots do not produce -Inf.
+//
+// The returned slope is the fitted linear growth rate of log activity per
+// sample — the paper observed instability "increased linearly during the
+// seven month period".
+func LogDetrend(xs []float64) (residual []float64, slope float64) {
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x < 1 {
+			x = 1
+		}
+		logs[i] = math.Log(x)
+	}
+	a, b := LinearFit(logs)
+	res := make([]float64, len(xs))
+	for i := range logs {
+		res[i] = logs[i] - (a + b*float64(i))
+	}
+	return res, b
+}
+
+// Autocorrelation returns the normalized autocorrelation function of xs for
+// lags 0..maxLag (biased estimator; r[0] == 1 for non-constant input).
+func Autocorrelation(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	m := Mean(xs)
+	denom := 0.0
+	for _, x := range xs {
+		denom += (x - m) * (x - m)
+	}
+	r := make([]float64, maxLag+1)
+	if denom == 0 {
+		r[0] = 1
+		return r
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		s := 0.0
+		for i := 0; i+lag < n; i++ {
+			s += (xs[i] - m) * (xs[i+lag] - m)
+		}
+		r[lag] = s / denom
+	}
+	return r
+}
+
+// Demean returns xs with its mean removed.
+func Demean(xs []float64) []float64 {
+	m := Mean(xs)
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x - m
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0..1) of xs using linear interpolation
+// between order statistics. xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	insertionSort(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func insertionSort(xs []float64) {
+	// Small inputs dominate quantile use; a simple sort keeps the package
+	// dependency-free of sort for float slices with NaN-free data.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Quartiles returns the 25th, 50th and 75th percentiles of xs.
+func Quartiles(xs []float64) (q1, median, q3 float64) {
+	return Quantile(xs, 0.25), Quantile(xs, 0.5), Quantile(xs, 0.75)
+}
+
+// CDF returns the empirical cumulative distribution of the positive integer
+// counts in xs evaluated at each value in support: out[i] is the fraction of
+// total mass contributed by observations <= support[i]. This matches the
+// paper's Figure 7 construction, where mass is the number of events (an
+// observation of value v contributes v events).
+func CDF(counts []int, support []int) []float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(support))
+	if total == 0 {
+		return out
+	}
+	for i, s := range support {
+		mass := 0
+		for _, c := range counts {
+			if c <= s {
+				mass += c
+			}
+		}
+		out[i] = float64(mass) / float64(total)
+	}
+	return out
+}
+
+// Correlation returns the Pearson correlation coefficient of xs and ys
+// (0 when either is constant). Panics if the lengths differ.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("analysis: correlation length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean %v", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("variance %v", v)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty input should be 0")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	ys := make([]float64, 50)
+	for i := range ys {
+		ys[i] = 3 + 0.5*float64(i)
+	}
+	a, b := LinearFit(ys)
+	if !almostEqual(a, 3, 1e-9) || !almostEqual(b, 0.5, 1e-9) {
+		t.Fatalf("fit a=%v b=%v", a, b)
+	}
+	a, b = LinearFit([]float64{7})
+	if a != 7 || b != 0 {
+		t.Fatalf("single point fit a=%v b=%v", a, b)
+	}
+	a, b = LinearFit(nil)
+	if a != 0 || b != 0 {
+		t.Fatal("empty fit should be zero")
+	}
+}
+
+func TestLinearFitResidualOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ys := make([]float64, 200)
+	for i := range ys {
+		ys[i] = 10 + 0.3*float64(i) + rng.NormFloat64()
+	}
+	a, b := LinearFit(ys)
+	// Residuals must sum to ~0 and be uncorrelated with x.
+	var sum, dot float64
+	for i, y := range ys {
+		r := y - (a + b*float64(i))
+		sum += r
+		dot += r * float64(i)
+	}
+	if !almostEqual(sum, 0, 1e-6) || !almostEqual(dot, 0, 1e-4) {
+		t.Fatalf("residual sum %v dot %v", sum, dot)
+	}
+}
+
+func TestLogDetrend(t *testing.T) {
+	// Exponential growth with multiplicative daily cycle: after log-detrend
+	// the residual should oscillate about zero with no growth.
+	n := 24 * 60
+	xs := make([]float64, n)
+	for i := range xs {
+		trend := math.Exp(0.001 * float64(i))
+		cycle := math.Exp(0.5 * math.Sin(2*math.Pi*float64(i)/24))
+		xs[i] = 100 * trend * cycle
+	}
+	res, slope := LogDetrend(xs)
+	if !almostEqual(slope, 0.001, 1e-4) {
+		t.Fatalf("slope %v", slope)
+	}
+	if m := Mean(res); !almostEqual(m, 0, 1e-9) {
+		t.Fatalf("residual mean %v", m)
+	}
+	// First and second halves should have similar energy (trend removed).
+	e1 := Variance(res[:n/2])
+	e2 := Variance(res[n/2:])
+	if e1 == 0 || e2/e1 > 1.5 || e1/e2 > 1.5 {
+		t.Fatalf("residual energy drifted: %v vs %v", e1, e2)
+	}
+}
+
+func TestLogDetrendHandlesZeros(t *testing.T) {
+	res, _ := LogDetrend([]float64{0, 0, 10, 0})
+	for _, r := range res {
+		if math.IsInf(r, 0) || math.IsNaN(r) {
+			t.Fatal("zeros produced non-finite residuals")
+		}
+	}
+}
+
+func TestAutocorrelationPeriodicSignal(t *testing.T) {
+	n := 24 * 30
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 24)
+	}
+	r := Autocorrelation(xs, 48)
+	if !almostEqual(r[0], 1, 1e-12) {
+		t.Fatalf("r[0] = %v", r[0])
+	}
+	if r[24] < 0.9 {
+		t.Fatalf("r[24] = %v, want near 1 for 24-sample period", r[24])
+	}
+	if r[12] > -0.9 {
+		t.Fatalf("r[12] = %v, want near -1", r[12])
+	}
+}
+
+func TestAutocorrelationEdgeCases(t *testing.T) {
+	if r := Autocorrelation([]float64{5, 5, 5}, 2); r[0] != 1 {
+		t.Fatal("constant series should have r[0]=1 by convention")
+	}
+	if Autocorrelation(nil, 3) != nil {
+		t.Fatal("empty series should return nil")
+	}
+	r := Autocorrelation([]float64{1, 2}, 10)
+	if len(r) != 2 {
+		t.Fatalf("lag clamping failed: %d", len(r))
+	}
+}
+
+func TestQuantileAndQuartiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Quantile(xs, 0.5) != 3 {
+		t.Fatal("median wrong")
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if Quantile(xs, 0.25) != 2 || Quantile(xs, 0.75) != 4 {
+		t.Fatal("quartiles wrong")
+	}
+	q1, med, q3 := Quartiles([]float64{6, 1, 3, 2, 4, 5})
+	if med != 3.5 || q1 != 2.25 || q3 != 4.75 {
+		t.Fatalf("quartiles %v %v %v", q1, med, q3)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	// Input must not be mutated.
+	orig := []float64{3, 1, 2}
+	Quantile(orig, 0.5)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, q1f, q2f float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qa := math.Mod(math.Abs(q1f), 1)
+		qb := math.Mod(math.Abs(q2f), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	// Counts: three routes with 1 event, one with 10.
+	counts := []int{1, 1, 1, 10}
+	got := CDF(counts, []int{1, 5, 10})
+	want := []float64{3.0 / 13, 3.0 / 13, 1}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("cdf %v want %v", got, want)
+		}
+	}
+	if out := CDF(nil, []int{1}); out[0] != 0 {
+		t.Fatal("empty counts cdf should be 0")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if c := Correlation(xs, ys); !almostEqual(c, 1, 1e-12) {
+		t.Fatalf("corr %v", c)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if c := Correlation(xs, neg); !almostEqual(c, -1, 1e-12) {
+		t.Fatalf("corr %v", c)
+	}
+	if c := Correlation(xs, []float64{5, 5, 5, 5}); c != 0 {
+		t.Fatalf("constant corr %v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	Correlation(xs, []float64{1})
+}
+
+func TestDemean(t *testing.T) {
+	out := Demean([]float64{1, 2, 3})
+	if Mean(out) != 0 || out[0] != -1 {
+		t.Fatalf("demean %v", out)
+	}
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+)
+
+// JacobiEigen computes all eigenvalues and eigenvectors of the symmetric
+// matrix a (given as rows) by the cyclic Jacobi method. It returns the
+// eigenvalues in descending order with their eigenvectors as columns of v
+// (v[i][j] is component i of eigenvector j). The input matrix is not
+// modified.
+func JacobiEigen(a [][]float64) (eigenvalues []float64, v [][]float64) {
+	n := len(a)
+	m := make([][]float64, n)
+	v = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = append([]float64(nil), a[i]...)
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-300 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	eigenvalues = make([]float64, n)
+	for i := 0; i < n; i++ {
+		eigenvalues[i] = m[i][i]
+	}
+	// Sort descending by eigenvalue, permuting eigenvector columns.
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if eigenvalues[j] > eigenvalues[best] {
+				best = j
+			}
+		}
+		if best != i {
+			eigenvalues[i], eigenvalues[best] = eigenvalues[best], eigenvalues[i]
+			for k := 0; k < n; k++ {
+				v[k][i], v[k][best] = v[k][best], v[k][i]
+			}
+		}
+	}
+	return eigenvalues, v
+}
+
+// SSAComponent is one singular-spectrum component: its share of total
+// variance and the dominant frequency of its empirical orthogonal function.
+type SSAComponent struct {
+	// Eigenvalue is the variance captured by the component.
+	Eigenvalue float64
+	// VarianceShare is Eigenvalue normalized by the eigenvalue sum.
+	VarianceShare float64
+	// Freq is the dominant frequency of the EOF in cycles/sample.
+	Freq float64
+	// Period is 1/Freq in samples.
+	Period float64
+}
+
+// SSA performs singular-spectrum analysis of xs with embedding window
+// length window (the Vautard–Ghil lag-covariance formulation used by the
+// SSA toolkit the paper cites) and returns the top-k components by captured
+// variance, each annotated with the dominant frequency of its EOF.
+func SSA(xs []float64, window, k int) []SSAComponent {
+	if window < 2 || len(xs) < 2*window {
+		panic("analysis: SSA window must satisfy 2 <= window <= len(xs)/2")
+	}
+	centered := Demean(xs)
+	// Toeplitz lag-covariance matrix.
+	cov := make([]float64, window)
+	n := len(centered)
+	for lag := 0; lag < window; lag++ {
+		s := 0.0
+		for i := 0; i+lag < n; i++ {
+			s += centered[i] * centered[i+lag]
+		}
+		cov[lag] = s / float64(n-lag)
+	}
+	mat := make([][]float64, window)
+	for i := range mat {
+		mat[i] = make([]float64, window)
+		for j := range mat[i] {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			mat[i][j] = cov[d]
+		}
+	}
+	eig, vecs := JacobiEigen(mat)
+	total := 0.0
+	for _, e := range eig {
+		if e > 0 {
+			total += e
+		}
+	}
+	if k > window {
+		k = window
+	}
+	out := make([]SSAComponent, 0, k)
+	for c := 0; c < k; c++ {
+		eof := make([]float64, window)
+		for i := 0; i < window; i++ {
+			eof[i] = vecs[i][c]
+		}
+		f := DominantFreq(eof)
+		comp := SSAComponent{Eigenvalue: eig[c], Freq: f, Period: PeriodOf(f)}
+		if total > 0 {
+			comp.VarianceShare = eig[c] / total
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+// DominantFreq returns the frequency (cycles/sample) with the largest
+// periodogram power in xs, excluding the zero frequency.
+func DominantFreq(xs []float64) float64 {
+	freqs, power := Periodogram(xs)
+	best, bestP := 0.0, math.Inf(-1)
+	for i := 1; i < len(freqs); i++ {
+		if power[i] > bestP {
+			best, bestP = freqs[i], power[i]
+		}
+	}
+	return best
+}
+
+// WhiteNoiseCI estimates, by Monte Carlo, the q-quantile (e.g. 0.99) of
+// periodogram power under the null hypothesis that the series is white noise
+// with the same variance and length as xs. Spectral peaks above the returned
+// threshold are significant at level q — the "99% confidence interval
+// generated using white noise" of the paper's Figure 5b.
+func WhiteNoiseCI(xs []float64, trials int, q float64, rng *rand.Rand) float64 {
+	sd := math.Sqrt(Variance(xs))
+	n := len(xs)
+	var maxima []float64
+	noise := make([]float64, n)
+	for t := 0; t < trials; t++ {
+		for i := range noise {
+			noise[i] = rng.NormFloat64() * sd
+		}
+		_, power := Periodogram(noise)
+		for _, p := range power[1:] {
+			maxima = append(maxima, p)
+		}
+	}
+	return Quantile(maxima, q)
+}
+
+// SignificantPeaks returns the spectrum peaks of xs whose power exceeds the
+// white-noise threshold, largest first, at most k of them.
+func SignificantPeaks(xs []float64, k, trials int, q float64, rng *rand.Rand) []Peak {
+	freqs, power := Periodogram(xs)
+	threshold := WhiteNoiseCI(xs, trials, q, rng)
+	peaks := TopPeaks(freqs, power, len(power))
+	var out []Peak
+	for _, p := range peaks {
+		if p.Power > threshold {
+			out = append(out, p)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package bgp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ASN is a 16-bit autonomous system number (the 1996 Internet predates
+// 4-octet AS numbers).
+type ASN uint16
+
+// String returns the decimal form, e.g. "AS690".
+func (a ASN) String() string { return "AS" + strconv.Itoa(int(a)) }
+
+// Segment types in an AS_PATH attribute.
+const (
+	ASSet      uint8 = 1
+	ASSequence uint8 = 2
+)
+
+// PathSegment is one segment of an AS_PATH: an ordered AS_SEQUENCE or an
+// unordered AS_SET (produced by aggregation).
+type PathSegment struct {
+	Type uint8
+	ASNs []ASN
+}
+
+// ASPath is the AS_PATH attribute: the sequence of autonomous systems a
+// route's reachability information has traversed.
+type ASPath struct {
+	Segments []PathSegment
+}
+
+// PathFromASNs builds a single AS_SEQUENCE path. An empty argument list
+// yields the empty path announced for locally originated routes to internal
+// peers.
+func PathFromASNs(asns ...ASN) ASPath {
+	if len(asns) == 0 {
+		return ASPath{}
+	}
+	return ASPath{Segments: []PathSegment{{Type: ASSequence, ASNs: append([]ASN(nil), asns...)}}}
+}
+
+// Prepend returns a new path with asn prepended, as a border router does when
+// propagating a route to an external peer.
+func (p ASPath) Prepend(asn ASN) ASPath {
+	segs := make([]PathSegment, 0, len(p.Segments)+1)
+	if len(p.Segments) > 0 && p.Segments[0].Type == ASSequence {
+		first := PathSegment{Type: ASSequence, ASNs: make([]ASN, 0, len(p.Segments[0].ASNs)+1)}
+		first.ASNs = append(first.ASNs, asn)
+		first.ASNs = append(first.ASNs, p.Segments[0].ASNs...)
+		segs = append(segs, first)
+		segs = append(segs, cloneSegments(p.Segments[1:])...)
+	} else {
+		segs = append(segs, PathSegment{Type: ASSequence, ASNs: []ASN{asn}})
+		segs = append(segs, cloneSegments(p.Segments)...)
+	}
+	return ASPath{Segments: segs}
+}
+
+func cloneSegments(segs []PathSegment) []PathSegment {
+	out := make([]PathSegment, len(segs))
+	for i, s := range segs {
+		out[i] = PathSegment{Type: s.Type, ASNs: append([]ASN(nil), s.ASNs...)}
+	}
+	return out
+}
+
+// Contains reports whether asn appears anywhere in the path. Routers use this
+// for loop detection: an update whose AS_PATH already contains the local AS
+// must be discarded.
+func (p ASPath) Contains(asn ASN) bool {
+	for _, seg := range p.Segments {
+		for _, a := range seg.ASNs {
+			if a == asn {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Len returns the path length used by route selection: each AS in a sequence
+// counts 1, each AS_SET counts 1 regardless of size.
+func (p ASPath) Len() int {
+	n := 0
+	for _, seg := range p.Segments {
+		if seg.Type == ASSet {
+			n++
+		} else {
+			n += len(seg.ASNs)
+		}
+	}
+	return n
+}
+
+// Origin returns the last AS in the path — the AS that originated the route —
+// and false for an empty path.
+func (p ASPath) Origin() (ASN, bool) {
+	for i := len(p.Segments) - 1; i >= 0; i-- {
+		seg := p.Segments[i]
+		if len(seg.ASNs) == 0 {
+			continue
+		}
+		if seg.Type == ASSet {
+			// Aggregates have no single origin; report the first set member
+			// for accounting purposes.
+			return seg.ASNs[0], true
+		}
+		return seg.ASNs[len(seg.ASNs)-1], true
+	}
+	return 0, false
+}
+
+// First returns the neighboring AS the route was learned from (the first AS
+// in the path), and false for an empty path.
+func (p ASPath) First() (ASN, bool) {
+	for _, seg := range p.Segments {
+		if len(seg.ASNs) == 0 {
+			continue
+		}
+		return seg.ASNs[0], true
+	}
+	return 0, false
+}
+
+// Equal reports whether two paths are identical segment for segment.
+func (p ASPath) Equal(q ASPath) bool {
+	if len(p.Segments) != len(q.Segments) {
+		return false
+	}
+	for i := range p.Segments {
+		a, b := p.Segments[i], q.Segments[i]
+		if a.Type != b.Type || len(a.ASNs) != len(b.ASNs) {
+			return false
+		}
+		for j := range a.ASNs {
+			if a.ASNs[j] != b.ASNs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Key returns a compact string identity for the path, suitable as a map key.
+// Distinct paths have distinct keys.
+func (p ASPath) Key() string {
+	if len(p.Segments) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, seg := range p.Segments {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		if seg.Type == ASSet {
+			sb.WriteByte('{')
+		}
+		for j, a := range seg.ASNs {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(strconv.Itoa(int(a)))
+		}
+		if seg.Type == ASSet {
+			sb.WriteByte('}')
+		}
+	}
+	return sb.String()
+}
+
+// String renders the path in the conventional "701 1239 {690 1800}" display
+// form.
+func (p ASPath) String() string {
+	if len(p.Segments) == 0 {
+		return "<empty>"
+	}
+	return strings.ReplaceAll(p.Key(), "|", " ")
+}
+
+// marshal appends the wire form of the path.
+func (p ASPath) marshal(b []byte) ([]byte, error) {
+	for _, seg := range p.Segments {
+		if len(seg.ASNs) == 0 || len(seg.ASNs) > 255 {
+			return nil, fmt.Errorf("bgp: AS_PATH segment with %d ASNs", len(seg.ASNs))
+		}
+		if seg.Type != ASSet && seg.Type != ASSequence {
+			return nil, fmt.Errorf("bgp: AS_PATH segment type %d", seg.Type)
+		}
+		b = append(b, seg.Type, byte(len(seg.ASNs)))
+		for _, a := range seg.ASNs {
+			b = append(b, byte(a>>8), byte(a))
+		}
+	}
+	return b, nil
+}
+
+func unmarshalASPath(b []byte) (ASPath, error) {
+	var p ASPath
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return ASPath{}, fmt.Errorf("%w: AS_PATH segment header", ErrTruncated)
+		}
+		typ, n := b[0], int(b[1])
+		if typ != ASSet && typ != ASSequence {
+			return ASPath{}, fmt.Errorf("bgp: malformed AS_PATH segment type %d", typ)
+		}
+		if n == 0 {
+			return ASPath{}, fmt.Errorf("bgp: empty AS_PATH segment")
+		}
+		b = b[2:]
+		if len(b) < 2*n {
+			return ASPath{}, fmt.Errorf("%w: AS_PATH segment ASNs", ErrTruncated)
+		}
+		seg := PathSegment{Type: typ, ASNs: make([]ASN, n)}
+		for i := 0; i < n; i++ {
+			seg.ASNs[i] = ASN(uint16(b[2*i])<<8 | uint16(b[2*i+1]))
+		}
+		b = b[2*n:]
+		p.Segments = append(p.Segments, seg)
+	}
+	return p, nil
+}

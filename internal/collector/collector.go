@@ -1,0 +1,368 @@
+// Package collector implements the measurement apparatus of the study: the
+// update records logged by route-server instrumentation at each exchange
+// point, and a compact MRT-inspired binary log format with streaming reader
+// and writer (gzip-framed on disk, as the Routing Arbiter archive was).
+//
+// A Record is deliberately exactly the information the paper's analyses
+// consume: timestamp, exchange, peer identity, update type, prefix, and path
+// attributes.
+package collector
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/netaddr"
+)
+
+// RecType is the kind of observation in a Record.
+type RecType uint8
+
+// Record types.
+const (
+	// Announce is a prefix announcement received from a peer.
+	Announce RecType = 1
+	// Withdraw is a prefix withdrawal received from a peer.
+	Withdraw RecType = 2
+	// SessionUp marks a peering session reaching Established.
+	SessionUp RecType = 3
+	// SessionDown marks a peering session loss.
+	SessionDown RecType = 4
+)
+
+// String names the record type.
+func (t RecType) String() string {
+	switch t {
+	case Announce:
+		return "A"
+	case Withdraw:
+		return "W"
+	case SessionUp:
+		return "UP"
+	case SessionDown:
+		return "DOWN"
+	}
+	return fmt.Sprintf("RecType(%d)", uint8(t))
+}
+
+// Record is one logged observation at a collection point.
+type Record struct {
+	Time     time.Time
+	Type     RecType
+	PeerAS   bgp.ASN
+	PeerAddr netaddr.Addr
+	Prefix   netaddr.Prefix
+	Attrs    bgp.Attrs // meaningful for Announce records only
+}
+
+// String renders a human-readable one-line form, similar to MRT dump tools.
+func (r Record) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|%s|%s|%s", r.Time.UTC().Format("2006-01-02 15:04:05"), r.Type, r.PeerAS, r.Prefix)
+	if r.Type == Announce {
+		fmt.Fprintf(&sb, "|%s|%s", r.Attrs.NextHop, r.Attrs.Path)
+	}
+	return sb.String()
+}
+
+// Log file framing.
+const (
+	logMagic   = "IRTL" // Internet RouTing Log
+	logVersion = 1
+)
+
+// Codec errors.
+var (
+	ErrBadMagic   = errors.New("collector: not an IRTL log file")
+	ErrBadVersion = errors.New("collector: unsupported log version")
+	ErrCorrupt    = errors.New("collector: corrupt record")
+)
+
+// Writer writes records to a binary log stream.
+type Writer struct {
+	w     *bufio.Writer
+	gz    *gzip.Writer
+	under io.Closer
+	count int
+	buf   []byte
+}
+
+// NewWriter starts a log stream on w with the given exchange-point name in
+// the header.
+func NewWriter(w io.Writer, exchange string) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if len(exchange) > 255 {
+		return nil, fmt.Errorf("collector: exchange name too long")
+	}
+	if _, err := bw.WriteString(logMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(logVersion); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(byte(len(exchange))); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(exchange); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Create opens path for writing as a log file; names ending in ".gz" are
+// gzip-compressed.
+func Create(path, exchange string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		w, err := NewWriter(f, exchange)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		w.under = f
+		return w, nil
+	}
+	gz := gzip.NewWriter(f)
+	w, err := NewWriter(gz, exchange)
+	if err != nil {
+		gz.Close()
+		f.Close()
+		return nil, err
+	}
+	w.gz = gz
+	w.under = f
+	return w, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	b := w.buf[:0]
+	b = append(b, byte(r.Type))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Time.UnixNano()))
+	b = binary.BigEndian.AppendUint16(b, uint16(r.PeerAS))
+	b = binary.BigEndian.AppendUint32(b, uint32(r.PeerAddr))
+	b = append(b, byte(r.Prefix.Bits()))
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Prefix.Addr()))
+	if r.Type == Announce {
+		attrs, err := bgp.MarshalAttrs(r.Attrs)
+		if err != nil {
+			return err
+		}
+		if len(attrs) > 0xffff {
+			return fmt.Errorf("collector: attributes too large")
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(len(attrs)))
+		b = append(b, attrs...)
+	} else {
+		b = binary.BigEndian.AppendUint16(b, 0)
+	}
+	w.buf = b
+	w.count++
+	_, err := w.w.Write(b)
+	return err
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.count }
+
+// Close flushes buffers and closes any file or gzip layer opened by Create.
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil {
+			return err
+		}
+	}
+	if w.under != nil {
+		return w.under.Close()
+	}
+	return nil
+}
+
+// Reader streams records from a log.
+type Reader struct {
+	r        *bufio.Reader
+	gz       *gzip.Reader
+	under    io.Closer
+	exchange string
+}
+
+// NewReader opens a log stream and parses its header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(hdr[:4]) != logMagic {
+		return nil, ErrBadMagic
+	}
+	if hdr[4] != logVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+	}
+	name := make([]byte, hdr[5])
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: header name: %v", ErrCorrupt, err)
+	}
+	return &Reader{r: br, exchange: string(name)}, nil
+}
+
+// Open opens path as a log file; ".gz" names are decompressed.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		r, err := NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		r.under = f
+		return r, nil
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := NewReader(gz)
+	if err != nil {
+		gz.Close()
+		f.Close()
+		return nil, err
+	}
+	r.gz = gz
+	r.under = f
+	return r, nil
+}
+
+// Exchange returns the exchange-point name from the log header.
+func (r *Reader) Exchange() string { return r.exchange }
+
+// Next reads one record, returning io.EOF at a clean end of stream.
+func (r *Reader) Next() (Record, error) {
+	var rec Record
+	var fixed [20]byte
+	if _, err := io.ReadFull(r.r, fixed[:1]); err != nil {
+		if err == io.EOF {
+			return rec, io.EOF
+		}
+		return rec, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if _, err := io.ReadFull(r.r, fixed[1:]); err != nil {
+		return rec, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	rec.Type = RecType(fixed[0])
+	switch rec.Type {
+	case Announce, Withdraw, SessionUp, SessionDown:
+	default:
+		return rec, fmt.Errorf("%w: type %d", ErrCorrupt, fixed[0])
+	}
+	rec.Time = time.Unix(0, int64(binary.BigEndian.Uint64(fixed[1:9]))).UTC()
+	rec.PeerAS = bgp.ASN(binary.BigEndian.Uint16(fixed[9:11]))
+	rec.PeerAddr = netaddr.Addr(binary.BigEndian.Uint32(fixed[11:15]))
+	bits := int(fixed[15])
+	addr := netaddr.Addr(binary.BigEndian.Uint32(fixed[16:20]))
+	p, err := netaddr.PrefixFrom(addr, bits)
+	if err != nil {
+		return rec, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	rec.Prefix = p
+	var lenb [2]byte
+	if _, err := io.ReadFull(r.r, lenb[:]); err != nil {
+		return rec, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	alen := int(binary.BigEndian.Uint16(lenb[:]))
+	if alen > 0 {
+		ab := make([]byte, alen)
+		if _, err := io.ReadFull(r.r, ab); err != nil {
+			return rec, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		rec.Attrs, err = bgp.UnmarshalAttrs(ab)
+		if err != nil {
+			return rec, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	return rec, nil
+}
+
+// Close closes any layers opened by Open.
+func (r *Reader) Close() error {
+	if r.gz != nil {
+		if err := r.gz.Close(); err != nil {
+			return err
+		}
+	}
+	if r.under != nil {
+		return r.under.Close()
+	}
+	return nil
+}
+
+// ReadAll decodes an entire log into memory.
+func ReadAll(r *Reader) ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteAll writes all records and keeps the writer open.
+func WriteAll(w *Writer, recs []Record) error {
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecordReader is the common streaming interface over both log formats
+// (native IRTL and MRT).
+type RecordReader interface {
+	// Next returns the next record, io.EOF at a clean end of stream.
+	Next() (Record, error)
+	// Close releases any file or compression layers.
+	Close() error
+}
+
+// OpenAny opens path as whichever log format its name indicates: ".mrt" or
+// ".mrt.gz" selects MRT, everything else the native format. The returned
+// name is the exchange recorded in the header (empty for MRT, which carries
+// none).
+func OpenAny(path string) (RecordReader, string, error) {
+	if strings.HasSuffix(path, ".mrt") || strings.HasSuffix(path, ".mrt.gz") {
+		r, err := OpenMRT(path)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, "", nil
+	}
+	r, err := Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return r, r.Exchange(), nil
+}

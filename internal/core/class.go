@@ -1,0 +1,99 @@
+// Package core implements the paper's primary contribution: the taxonomy of
+// inter-domain routing updates (WADiff, AADiff, WADup, AADup, WWDup) and the
+// streaming classifier that assigns every observed BGP update to a class by
+// tracking the (Prefix, NextHop, ASPATH) tuple last announced by each peer
+// for each prefix.
+//
+// Terminology follows §4 of the paper:
+//
+//   - WADiff: a route is explicitly withdrawn and later replaced by a
+//     different route — forwarding instability.
+//   - AADiff: a route is implicitly withdrawn, replaced in place by a
+//     different route — forwarding instability.
+//   - WADup: a route is explicitly withdrawn and re-announced unchanged —
+//     forwarding instability or pathological oscillation.
+//   - AADup: a route is re-announced identically while still reachable —
+//     pathological (or pure policy fluctuation when only non-tuple
+//     attributes changed).
+//   - WWDup: a withdrawal for a prefix that is already unreachable (often
+//     never announced by that peer at all) — pathological.
+//
+// The paper calls {AADiff, WADiff, WADup} "instability" and
+// {AADup, WWDup} "pathological instability"; Other covers initial
+// announcements and the ordinary withdrawal of a reachable route.
+package core
+
+import "fmt"
+
+// Class is the taxonomy bucket assigned to one update.
+type Class uint8
+
+// Update classes.
+const (
+	// Other is an update that begins a history: a first announcement of a
+	// prefix by a peer, or the plain withdrawal of a currently reachable
+	// route (the W half of a later WA pair), or a session event.
+	Other Class = iota
+	// AADiff is an implicit withdrawal: a new route replacing a different
+	// existing route.
+	AADiff
+	// AADup is a duplicate announcement of the existing route.
+	AADup
+	// WADiff is a re-announcement, after explicit withdrawal, of a route
+	// different from the one withdrawn.
+	WADiff
+	// WADup is a re-announcement, after explicit withdrawal, identical to
+	// the withdrawn route.
+	WADup
+	// WWDup is a withdrawal for a prefix the peer does not currently
+	// announce (repeated or entirely spurious withdrawal).
+	WWDup
+
+	// NumClasses is the number of taxonomy buckets.
+	NumClasses = 6
+)
+
+// String returns the paper's name for the class.
+func (c Class) String() string {
+	switch c {
+	case Other:
+		return "Other"
+	case AADiff:
+		return "AADiff"
+	case AADup:
+		return "AADup"
+	case WADiff:
+		return "WADiff"
+	case WADup:
+		return "WADup"
+	case WWDup:
+		return "WWDup"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// IsInstability reports whether the class counts as instability
+// (forwarding instability or policy fluctuation) under the paper's §4.1
+// definition.
+func (c Class) IsInstability() bool {
+	return c == AADiff || c == WADiff || c == WADup
+}
+
+// IsPathological reports whether the class is redundant, pathological
+// information.
+func (c Class) IsPathological() bool {
+	return c == AADup || c == WWDup
+}
+
+// IsForwarding reports whether the class may directly reflect a change in
+// forwarding paths (the categories that can follow from exogenous network
+// events).
+func (c Class) IsForwarding() bool {
+	return c == AADiff || c == WADiff
+}
+
+// Classes lists all classes in display order (matching the paper's
+// figures: instability categories first, then pathologies).
+func Classes() []Class {
+	return []Class{AADiff, WADiff, WADup, AADup, WWDup, Other}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/collector"
+	"instability/internal/netaddr"
+)
+
+// PeerKey identifies the peer a record was heard from.
+type PeerKey struct {
+	AS   bgp.ASN
+	Addr netaddr.Addr
+}
+
+// PrefixAS is the paper's §5.2 aggregation unit: "a set of routes that an AS
+// announces for a given destination — more specific than a prefix, more
+// general than a route."
+type PrefixAS struct {
+	Prefix netaddr.Prefix
+	AS     bgp.ASN
+}
+
+// stateKey tracks history per (peer, prefix). Distinct routers of one AS are
+// distinct peers, as in the route-server logs.
+type stateKey struct {
+	peer   PeerKey
+	prefix netaddr.Prefix
+}
+
+type routeState struct {
+	announced bool
+	ever      bool
+	last      bgp.Attrs
+	// lastEvent[c] is the time of the previous class-c event, for
+	// inter-arrival analysis.
+	lastEvent [NumClasses]time.Time
+}
+
+// Event is the classifier's verdict on one record.
+type Event struct {
+	Record collector.Record
+	Class  Class
+	// PolicyShift marks an AADup whose forwarding tuple was unchanged but
+	// whose other attributes (MED, communities, ...) differed — the paper's
+	// routing policy fluctuation.
+	PolicyShift bool
+	// SinceLast is the interval since the previous event of the same class
+	// for this (peer, prefix); zero for the first such event.
+	SinceLast time.Duration
+	// SinceAny is the interval since the previous event of any class for
+	// this (peer, prefix); zero for the first.
+	SinceAny time.Duration
+}
+
+// PeerKeyOf extracts the peer identity from a record.
+func PeerKeyOf(rec collector.Record) PeerKey {
+	return PeerKey{AS: rec.PeerAS, Addr: rec.PeerAddr}
+}
+
+// PrefixASOf extracts the Prefix+AS aggregation key from a record.
+func PrefixASOf(rec collector.Record) PrefixAS {
+	return PrefixAS{Prefix: rec.Prefix, AS: rec.PeerAS}
+}
+
+// Classifier assigns classes to a stream of records. It must see each
+// collection point's records in timestamp order.
+type Classifier struct {
+	states map[stateKey]*routeState
+	// active tracks how many prefixes each peer currently announces — the
+	// per-peer routing table share of Figure 6.
+	active map[PeerKey]int
+}
+
+// NewClassifier returns an empty classifier.
+func NewClassifier() *Classifier {
+	return &Classifier{
+		states: make(map[stateKey]*routeState),
+		active: make(map[PeerKey]int),
+	}
+}
+
+// Classify processes one record and returns its event.
+func (c *Classifier) Classify(rec collector.Record) Event {
+	ev := Event{Record: rec, Class: Other}
+	switch rec.Type {
+	case collector.Announce, collector.Withdraw:
+	default:
+		// Session records carry no route state; the study's logs likewise
+		// interleave state messages that the update taxonomy ignores.
+		return ev
+	}
+	key := stateKey{peer: PeerKeyOf(rec), prefix: rec.Prefix}
+	st := c.states[key]
+	if st == nil {
+		st = &routeState{}
+		c.states[key] = st
+	}
+
+	switch rec.Type {
+	case collector.Announce:
+		switch {
+		case st.announced:
+			if st.last.ForwardingEqual(rec.Attrs) {
+				ev.Class = AADup
+				ev.PolicyShift = !st.last.PolicyEqual(rec.Attrs)
+			} else {
+				ev.Class = AADiff
+			}
+		case st.ever:
+			if st.last.ForwardingEqual(rec.Attrs) {
+				ev.Class = WADup
+			} else {
+				ev.Class = WADiff
+			}
+		default:
+			ev.Class = Other // first announcement ever seen
+		}
+		if !st.announced {
+			c.active[key.peer]++
+		}
+		st.announced, st.ever, st.last = true, true, rec.Attrs
+
+	case collector.Withdraw:
+		if st.announced {
+			ev.Class = Other // ordinary withdrawal of a live route
+			st.announced = false
+			c.active[key.peer]--
+		} else {
+			ev.Class = WWDup
+		}
+	}
+
+	// Inter-arrival bookkeeping.
+	var lastAny time.Time
+	for i := range st.lastEvent {
+		if t := st.lastEvent[i]; !t.IsZero() && t.After(lastAny) {
+			lastAny = t
+		}
+	}
+	if !lastAny.IsZero() {
+		ev.SinceAny = rec.Time.Sub(lastAny)
+	}
+	if t := st.lastEvent[ev.Class]; !t.IsZero() {
+		ev.SinceLast = rec.Time.Sub(t)
+	}
+	st.lastEvent[ev.Class] = rec.Time
+	return ev
+}
+
+// ActiveRoutes returns the number of prefixes peer currently announces.
+func (c *Classifier) ActiveRoutes(p PeerKey) int { return c.active[p] }
+
+// ActiveByPeer returns a copy of the per-peer active route counts: each
+// peer's share of the default-free table.
+func (c *Classifier) ActiveByPeer() map[PeerKey]int {
+	out := make(map[PeerKey]int, len(c.active))
+	for k, v := range c.active {
+		if v > 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// TotalActive returns the number of (peer, prefix) pairs currently announced.
+func (c *Classifier) TotalActive() int {
+	n := 0
+	for _, v := range c.active {
+		n += v
+	}
+	return n
+}
+
+// KnownPairs returns the number of (peer, prefix) pairs ever observed.
+func (c *Classifier) KnownPairs() int { return len(c.states) }

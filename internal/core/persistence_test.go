@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"instability/internal/netaddr"
+)
+
+// pfx builds distinct /24 prefixes for burst tests.
+func pfx(i int) netaddr.Prefix {
+	return netaddr.MustPrefix(netaddr.Addr(0x0a000000+uint32(i)<<8), 24)
+}
+
+func TestEpisodeGrouping(t *testing.T) {
+	tr := NewEpisodeTracker()
+	c := NewClassifier()
+	// Episode 1: four AADups 30s apart (90s span).
+	c.Classify(ann(t0, peerA, pfxX, attrs1()))
+	for i := 1; i <= 4; i++ {
+		tr.Observe(c.Classify(ann(t0.Add(time.Duration(i)*30*time.Second), peerA, pfxX, attrs1())))
+	}
+	// Quiet for an hour, then episode 2: two AADups.
+	later := t0.Add(time.Hour)
+	tr.Observe(c.Classify(ann(later, peerA, pfxX, attrs1())))
+	tr.Observe(c.Classify(ann(later.Add(time.Minute), peerA, pfxX, attrs1())))
+	tr.Flush()
+
+	if len(tr.Durations) != 2 {
+		t.Fatalf("episodes %d, want 2", len(tr.Durations))
+	}
+	if tr.Durations[0] != 90*time.Second {
+		t.Fatalf("episode 1 duration %v", tr.Durations[0])
+	}
+	if tr.Events[0] != 4 || tr.Events[1] != 2 {
+		t.Fatalf("episode events %v", tr.Events)
+	}
+}
+
+func TestIsolatedEventsAreNotEpisodes(t *testing.T) {
+	tr := NewEpisodeTracker()
+	c := NewClassifier()
+	c.Classify(ann(t0, peerA, pfxX, attrs1()))
+	// One lone duplicate, then silence.
+	tr.Observe(c.Classify(ann(t0.Add(time.Minute), peerA, pfxX, attrs1())))
+	tr.Flush()
+	if len(tr.Durations) != 0 {
+		t.Fatalf("isolated event closed as episode: %v", tr.Durations)
+	}
+}
+
+func TestOtherEventsIgnored(t *testing.T) {
+	tr := NewEpisodeTracker()
+	c := NewClassifier()
+	tr.Observe(c.Classify(ann(t0, peerA, pfxX, attrs1())))       // first announce: Other
+	tr.Observe(c.Classify(wd(t0.Add(time.Minute), peerA, pfxX))) // clean withdraw: Other
+	tr.Flush()
+	if len(tr.Durations) != 0 || len(tr.open) != 0 {
+		t.Fatal("Other events should not form episodes")
+	}
+}
+
+func TestEpisodesPerRouteIndependent(t *testing.T) {
+	tr := NewEpisodeTracker()
+	c := NewClassifier()
+	c.Classify(ann(t0, peerA, pfxX, attrs1()))
+	c.Classify(ann(t0, peerB, pfxX, attrs1()))
+	for i := 1; i <= 3; i++ {
+		at := t0.Add(time.Duration(i) * 30 * time.Second)
+		tr.Observe(c.Classify(ann(at, peerA, pfxX, attrs1())))
+		tr.Observe(c.Classify(ann(at.Add(time.Second), peerB, pfxX, attrs1())))
+	}
+	tr.Flush()
+	if len(tr.Durations) != 2 {
+		t.Fatalf("per-route episodes %d, want 2", len(tr.Durations))
+	}
+}
+
+func TestShareUnderAndMedian(t *testing.T) {
+	tr := NewEpisodeTracker()
+	tr.Durations = []time.Duration{time.Minute, 2 * time.Minute, 10 * time.Minute}
+	if got := tr.ShareUnder(5 * time.Minute); got < 0.66 || got > 0.67 {
+		t.Fatalf("share %v", got)
+	}
+	if tr.MedianDuration() != 2*time.Minute {
+		t.Fatalf("median %v", tr.MedianDuration())
+	}
+	empty := NewEpisodeTracker()
+	if empty.ShareUnder(time.Minute) != 0 || empty.MedianDuration() != 0 {
+		t.Fatal("empty tracker stats")
+	}
+}
+
+func TestPeakSecondTracking(t *testing.T) {
+	c := NewClassifier()
+	a := NewAccumulator()
+	// Burst: 5 updates in one second (distinct prefixes), then a single.
+	for i := 0; i < 5; i++ {
+		p := pfx(i)
+		a.Add(c.Classify(ann(t0.Add(time.Duration(i)*100*time.Millisecond), peerA, p, attrs1())))
+	}
+	a.Add(c.Classify(ann(t0.Add(10*time.Second), peerA, pfxY, attrs1())))
+	s := a.Day(DateOf(t0))
+	if s.PeakSecond != 5 {
+		t.Fatalf("peak %d, want 5", s.PeakSecond)
+	}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"instability/internal/collector"
+	"sort"
+	"time"
+)
+
+// Date is a UTC civil date, counted in days since the Unix epoch. It is the
+// aggregation key for all per-day statistics.
+type Date int
+
+// DateOf returns the Date containing t (UTC).
+func DateOf(t time.Time) Date {
+	return Date(t.UTC().Unix() / 86400)
+}
+
+// Time returns midnight UTC of d.
+func (d Date) Time() time.Time { return time.Unix(int64(d)*86400, 0).UTC() }
+
+// String formats the date as YYYY-MM-DD.
+func (d Date) String() string { return d.Time().Format("2006-01-02") }
+
+// Weekday returns the day of week.
+func (d Date) Weekday() time.Weekday { return d.Time().Weekday() }
+
+// Inter-arrival histogram bins, matching the paper's Figure 8 log-time axis.
+// A duration is assigned to the first bin whose upper edge is >= d, so an
+// exactly 30-second periodic process fills the "30s" bin and a 60-second one
+// the "1m" bin.
+var (
+	// BinEdges are the upper edges of the inter-arrival bins.
+	BinEdges = []time.Duration{
+		time.Second, 5 * time.Second, 30 * time.Second, time.Minute,
+		5 * time.Minute, 10 * time.Minute, 30 * time.Minute, time.Hour,
+		2 * time.Hour, 4 * time.Hour, 8 * time.Hour, 24 * time.Hour,
+	}
+	// BinLabels name the bins for display.
+	BinLabels = []string{"1s", "5s", "30s", "1m", "5m", "10m", "30m", "1h", "2h", "4h", "8h", "24h"}
+)
+
+// NumBins is the number of inter-arrival histogram bins.
+const NumBins = 12
+
+// BinOf returns the histogram bin index for an inter-arrival duration.
+// Durations beyond 24 h clamp into the last bin.
+func BinOf(d time.Duration) int {
+	for i, edge := range BinEdges {
+		if d <= edge {
+			return i
+		}
+	}
+	return NumBins - 1
+}
+
+// TenMinBins is the number of ten-minute aggregation slots per day, the
+// resolution of the paper's Figures 3 and 4.
+const TenMinBins = 144
+
+// DayStats aggregates one day of classified updates at one collection point.
+type DayStats struct {
+	Date Date
+
+	// Counts tallies events per class.
+	Counts [NumClasses]int
+	// PolicyShifts counts AADup events whose non-tuple attributes changed
+	// (routing policy fluctuation).
+	PolicyShifts int
+
+	// TenMinInstability counts instability events (AADiff+WADiff+WADup) per
+	// ten-minute slot; TenMinAll counts all update events.
+	TenMinInstability [TenMinBins]int
+	TenMinAll         [TenMinBins]int
+
+	// ByPeer tallies per-peer class counts and raw announce/withdraw splits
+	// (Table 1's columns).
+	ByPeer map[PeerKey]*PeerDay
+	// ByPrefixAS tallies per-Prefix+AS class counts.
+	ByPrefixAS map[PrefixAS]*[NumClasses]int
+	// InterArrival histograms the same-class inter-arrival times observed
+	// this day.
+	InterArrival [NumClasses][NumBins]int
+
+	// PeerTable and TotalTable snapshot each peer's announced-route count at
+	// the end of the day (the Figure 6 denominator). Populated by EndDay.
+	PeerTable  map[PeerKey]int
+	TotalTable int
+
+	// PeakSecond is the largest number of updates observed in any single
+	// second of the day — the paper's "bursts of updates at rates exceeding
+	// 100 prefix announcements a second".
+	PeakSecond int
+	curSecond  int64
+	curCount   int
+}
+
+// PeerDay is one peer's tallies for one day.
+type PeerDay struct {
+	Counts        [NumClasses]int
+	Announcements int
+	Withdrawals   int
+}
+
+func newDayStats(d Date) *DayStats {
+	return &DayStats{
+		Date:       d,
+		ByPeer:     make(map[PeerKey]*PeerDay),
+		ByPrefixAS: make(map[PrefixAS]*[NumClasses]int),
+	}
+}
+
+// Instability returns the day's instability total (AADiff+WADiff+WADup).
+func (s *DayStats) Instability() int {
+	return s.Counts[AADiff] + s.Counts[WADiff] + s.Counts[WADup]
+}
+
+// Pathological returns the day's pathological total (AADup+WWDup).
+func (s *DayStats) Pathological() int {
+	return s.Counts[AADup] + s.Counts[WWDup]
+}
+
+// Total returns all classified events including Other.
+func (s *DayStats) Total() int {
+	n := 0
+	for _, v := range s.Counts {
+		n += v
+	}
+	return n
+}
+
+// RoutesAffected counts the distinct Prefix+AS pairs with at least one event
+// matching keep.
+func (s *DayStats) RoutesAffected(keep func(counts *[NumClasses]int) bool) int {
+	n := 0
+	for _, counts := range s.ByPrefixAS {
+		if keep(counts) {
+			n++
+		}
+	}
+	return n
+}
+
+// Accumulator folds classified events into per-day statistics.
+type Accumulator struct {
+	Days map[Date]*DayStats
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{Days: make(map[Date]*DayStats)}
+}
+
+// Day returns (creating if necessary) the stats bucket for d.
+func (a *Accumulator) Day(d Date) *DayStats {
+	s := a.Days[d]
+	if s == nil {
+		s = newDayStats(d)
+		a.Days[d] = s
+	}
+	return s
+}
+
+// Add folds one classified event in.
+func (a *Accumulator) Add(ev Event) {
+	t := ev.Record.Time
+	s := a.Day(DateOf(t))
+	s.Counts[ev.Class]++
+	if ev.PolicyShift {
+		s.PolicyShifts++
+	}
+
+	// Burst accounting: records arrive in time order, so a simple
+	// current-second counter suffices.
+	if sec := t.Unix(); sec != s.curSecond {
+		s.curSecond, s.curCount = sec, 0
+	}
+	s.curCount++
+	if s.curCount > s.PeakSecond {
+		s.PeakSecond = s.curCount
+	}
+
+	slot := (t.UTC().Hour()*60 + t.UTC().Minute()) / 10
+	if slot >= 0 && slot < TenMinBins {
+		s.TenMinAll[slot]++
+		if ev.Class.IsInstability() {
+			s.TenMinInstability[slot]++
+		}
+	}
+
+	peer := PeerKeyOf(ev.Record)
+	pc := s.ByPeer[peer]
+	if pc == nil {
+		pc = new(PeerDay)
+		s.ByPeer[peer] = pc
+	}
+	pc.Counts[ev.Class]++
+	switch ev.Record.Type {
+	case collector.Announce:
+		pc.Announcements++
+	case collector.Withdraw:
+		pc.Withdrawals++
+	}
+
+	pa := PrefixASOf(ev.Record)
+	pac := s.ByPrefixAS[pa]
+	if pac == nil {
+		pac = new([NumClasses]int)
+		s.ByPrefixAS[pa] = pac
+	}
+	pac[ev.Class]++
+
+	// The paper's Figure 8 measures the spacing between consecutive updates
+	// for a Prefix+AS, attributed to the class of the later update.
+	if ev.SinceAny > 0 {
+		s.InterArrival[ev.Class][BinOf(ev.SinceAny)]++
+	}
+}
+
+// EndDay snapshots the routing-table shares from the classifier into the
+// day's stats. Call once per simulated day, after the day's records.
+func (a *Accumulator) EndDay(c *Classifier, d Date) {
+	s := a.Day(d)
+	s.PeerTable = c.ActiveByPeer()
+	s.TotalTable = 0
+	for _, n := range s.PeerTable {
+		s.TotalTable += n
+	}
+}
+
+// Dates returns the days present, sorted.
+func (a *Accumulator) Dates() []Date {
+	out := make([]Date, 0, len(a.Days))
+	for d := range a.Days {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalCounts sums class counts across all days.
+func (a *Accumulator) TotalCounts() [NumClasses]int {
+	var total [NumClasses]int
+	for _, s := range a.Days {
+		for i, v := range s.Counts {
+			total[i] += v
+		}
+	}
+	return total
+}
+
+// MonthKey identifies a calendar month.
+type MonthKey struct {
+	Year  int
+	Month time.Month
+}
+
+// String formats the month as "January 1996".
+func (m MonthKey) String() string {
+	return time.Date(m.Year, m.Month, 1, 0, 0, 0, 0, time.UTC).Format("January 2006")
+}
+
+// MonthlyCounts sums class counts per calendar month (Figure 2's series).
+func (a *Accumulator) MonthlyCounts() map[MonthKey][NumClasses]int {
+	out := make(map[MonthKey][NumClasses]int)
+	for d, s := range a.Days {
+		t := d.Time()
+		k := MonthKey{Year: t.Year(), Month: t.Month()}
+		counts := out[k]
+		for i, v := range s.Counts {
+			counts[i] += v
+		}
+		out[k] = counts
+	}
+	return out
+}
+
+// HourlySeries returns the instability count per hour across the full range
+// of days, in time order — the input for the paper's spectral analysis
+// (Figure 5). Missing days contribute zero-filled hours.
+func (a *Accumulator) HourlySeries() (start time.Time, series []float64) {
+	dates := a.Dates()
+	if len(dates) == 0 {
+		return time.Time{}, nil
+	}
+	first, last := dates[0], dates[len(dates)-1]
+	n := int(last-first+1) * 24
+	series = make([]float64, n)
+	for d, s := range a.Days {
+		base := int(d-first) * 24
+		for slot, v := range s.TenMinInstability {
+			series[base+slot/6] += float64(v)
+		}
+	}
+	return first.Time(), series
+}
+
+// TenMinSeries returns the instability count per ten-minute slot across the
+// full day range (Figures 3 and 4).
+func (a *Accumulator) TenMinSeries() (start time.Time, series []float64) {
+	dates := a.Dates()
+	if len(dates) == 0 {
+		return time.Time{}, nil
+	}
+	first, last := dates[0], dates[len(dates)-1]
+	n := int(last-first+1) * TenMinBins
+	series = make([]float64, n)
+	for d, s := range a.Days {
+		base := int(d-first) * TenMinBins
+		for slot, v := range s.TenMinInstability {
+			series[base+slot] = float64(v)
+		}
+	}
+	return first.Time(), series
+}

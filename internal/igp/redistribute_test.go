@@ -1,0 +1,206 @@
+package igp
+
+import (
+	"testing"
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/events"
+	"instability/internal/router"
+	"instability/internal/session"
+)
+
+// twoDomains builds the two-point mutual redistribution topology: domains A
+// and B, routers X and Y present in both, plus a stub node in each domain.
+//
+//	A: a0 -- ax -- ay      B: bx -- b0 -- by   (X = ax/bx, Y = ay/by)
+func twoDomains(sim *events.Sim, filtered bool) (a, b *Network, a0 *Node, drs []*DomainRedistributor) {
+	a = NewNetwork(sim)
+	b = NewNetwork(sim)
+	a0 = a.AddNode(10)
+	ax := a.AddNode(1)
+	ay := a.AddNode(2)
+	a.Link(10, 1, 10)
+	a.Link(1, 2, 10)
+	a.Link(10, 2, 10)
+	bx := b.AddNode(1)
+	by := b.AddNode(2)
+	b.AddNode(10)
+	b.Link(1, 10, 10)
+	b.Link(10, 2, 10)
+	b.Link(1, 2, 10)
+
+	// Staggered scan phases: independent routers never tick in unison, and
+	// the stagger is what lets the two-point loop close.
+	const tagAB, tagBA = 100, 200
+	xAB := NewDomainRedistributor(sim, ax, bx, tagAB, 0)
+	yAB := NewDomainRedistributor(sim, ay, by, tagAB, 20*time.Second)
+	xBA := NewDomainRedistributor(sim, bx, ax, tagBA, 10*time.Second)
+	yBA := NewDomainRedistributor(sim, by, ay, tagBA, 25*time.Second)
+	drs = []*DomainRedistributor{xAB, yAB, xBA, yBA}
+	if filtered {
+		for _, d := range drs {
+			d.FilterTags[tagAB] = true
+			d.FilterTags[tagBA] = true
+		}
+	}
+	return a, b, a0, drs
+}
+
+func TestMutualRedistributionGhostRoute(t *testing.T) {
+	sim := events.New(21)
+	_, b, a0, _ := twoDomains(sim, false) // no tag filtering: misconfigured
+	p := pfx("192.42.113.0/24")
+	a0.AnnounceExternal(p, External{Metric: 1})
+	sim.RunFor(3 * time.Minute)
+	// The route reaches domain B through the redistribution.
+	if _, ok := b.Node(10).Route(p); !ok {
+		t.Fatal("route never reached domain B")
+	}
+	// The origin withdraws — but the mutual injections keep the prefix
+	// alive in both domains: the ghost route no AS-path check can see.
+	a0.WithdrawExternal(p)
+	sim.RunFor(30 * time.Minute)
+	if _, ok := b.Node(10).Route(p); !ok {
+		t.Fatal("expected the ghost to persist in domain B")
+	}
+	if r, ok := a0.Route(p); !ok {
+		t.Fatal("expected the ghost to persist in domain A")
+	} else if r.Origin == a0.ID() {
+		t.Fatal("ghost attributed to the (withdrawn) origin")
+	}
+}
+
+func TestTagFilteringPreventsGhost(t *testing.T) {
+	sim := events.New(22)
+	_, b, a0, _ := twoDomains(sim, true) // correct configuration
+	p := pfx("192.42.113.0/24")
+	a0.AnnounceExternal(p, External{Metric: 1})
+	sim.RunFor(3 * time.Minute)
+	if _, ok := b.Node(10).Route(p); !ok {
+		t.Fatal("route never reached domain B")
+	}
+	a0.WithdrawExternal(p)
+	sim.RunFor(5 * time.Minute)
+	if _, ok := b.Node(10).Route(p); ok {
+		t.Fatal("ghost persisted despite tag filtering")
+	}
+	if _, ok := a0.Route(p); ok {
+		t.Fatal("ghost persisted in domain A despite tag filtering")
+	}
+}
+
+// bgpSetup wires an IGP domain's border router to an upstream BGP peer
+// through the Redistributor.
+func bgpSetup(t *testing.T, sim *events.Sim) (*Network, *Node, *Redistributor, *router.Router, *router.Router) {
+	t.Helper()
+	net := NewNetwork(sim)
+	interior := net.AddNode(10)
+	borderNode := net.AddNode(1)
+	net.Link(10, 1, 10)
+
+	border := router.New(sim, router.Config{AS: 200, ID: 21, Session: session.Config{MRAI: 0}})
+	up := router.New(sim, router.Config{AS: 300, ID: 31, Session: session.Config{MRAI: 0}})
+	l := router.Connect(sim, border, up, time.Millisecond)
+	rd := NewRedistributor(sim, borderNode, border)
+	sim.RunFor(5 * time.Second)
+	if !l.Established() {
+		t.Fatal("BGP session did not establish")
+	}
+	return net, interior, rd, border, up
+}
+
+func TestIGPRouteRedistributedIntoBGP(t *testing.T) {
+	sim := events.New(23)
+	_, interior, rd, _, up := bgpSetup(t, sim)
+	p := pfx("141.213.0.0/16")
+	interior.AnnounceExternal(p, External{Metric: 5})
+	sim.RunFor(2 * time.Minute)
+	if !rd.OriginatedIntoBGP(p) {
+		t.Fatal("scanner did not originate the IGP route")
+	}
+	attrs, _, ok := up.RIB().Best(p)
+	if !ok {
+		t.Fatal("upstream missing redistributed route")
+	}
+	if attrs.Origin != bgp.OriginIncomplete {
+		t.Fatalf("redistributed route should have origin '?', got %v", attrs.Origin)
+	}
+	// Withdrawal propagates on a later scan.
+	interior.WithdrawExternal(p)
+	sim.RunFor(2 * time.Minute)
+	if _, _, ok := up.RIB().Best(p); ok {
+		t.Fatal("upstream kept withdrawn route")
+	}
+}
+
+func TestBGPRouteInjectedIntoIGPWithTag(t *testing.T) {
+	sim := events.New(24)
+	_, interior, rd, _, up := bgpSetup(t, sim)
+	p := pfx("35.0.0.0/8")
+	up.Originate(p, bgp.OriginIGP)
+	sim.RunFor(2 * time.Minute)
+	if !rd.InjectedIntoIGP(p) {
+		t.Fatal("scanner did not inject the BGP route")
+	}
+	r, ok := interior.Route(p)
+	if !ok {
+		t.Fatal("interior missing injected route")
+	}
+	if r.Tag != rd.InjectTag {
+		t.Fatalf("injected route tag %d, want %d", r.Tag, rd.InjectTag)
+	}
+	// The tag filter stops re-export: the border must not originate the
+	// prefix back into BGP.
+	sim.RunFor(2 * time.Minute)
+	if rd.OriginatedIntoBGP(p) {
+		t.Fatal("tag-filtered route was re-exported into BGP")
+	}
+}
+
+func TestScanTimerQuantizesUpdatesTo30s(t *testing.T) {
+	// A flapping interior route reaches BGP only at scan ticks, so the
+	// upstream sees inter-update spacings at multiples of 30 s — one source
+	// of the paper's Figure 8 periodicity.
+	sim := events.New(25)
+	_, interior, _, _, up := bgpSetup(t, sim)
+	p := pfx("141.213.0.0/16")
+
+	var updateTimes []time.Duration
+	prevAnn, prevWd := 0, 0
+	probe := sim.Every(time.Second, func() {
+		s := up.Session(200, 21)
+		if s == nil {
+			return
+		}
+		st := s.Stats()
+		if st.AnnReceived != prevAnn || st.WdReceived != prevWd {
+			prevAnn, prevWd = st.AnnReceived, st.WdReceived
+			updateTimes = append(updateTimes, sim.Now().Sub(events.Epoch))
+		}
+	})
+	defer probe.Stop()
+
+	// Flap at awkward, non-aligned times.
+	flapper := sim.Every(47*time.Second, func() {
+		if _, ok := interior.Externals()[p]; ok {
+			interior.WithdrawExternal(p)
+		} else {
+			interior.AnnounceExternal(p, External{Metric: 5})
+		}
+	})
+	sim.RunFor(20 * time.Minute)
+	flapper.Stop()
+
+	if len(updateTimes) < 5 {
+		t.Fatalf("only %d updates observed", len(updateTimes))
+	}
+	for i := 1; i < len(updateTimes); i++ {
+		gap := updateTimes[i] - updateTimes[i-1]
+		// Allow the 1s probe resolution plus propagation.
+		rem := gap % (30 * time.Second)
+		if rem > 2*time.Second && rem < 28*time.Second {
+			t.Fatalf("update gap %v not on the 30s scan grid", gap)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package netaddr
+
+import "fmt"
+
+// Allocator hands out non-overlapping prefixes from a parent block, mimicking
+// a registry (or a provider carving customer networks out of its CIDR block).
+// Allocation is first-fit over a simple free list and deterministic: the same
+// sequence of Alloc calls always yields the same prefixes.
+type Allocator struct {
+	parent Prefix
+	free   []Prefix // disjoint free blocks, kept sorted by Compare
+}
+
+// NewAllocator returns an allocator over the given parent block.
+func NewAllocator(parent Prefix) *Allocator {
+	return &Allocator{parent: parent, free: []Prefix{parent}}
+}
+
+// Parent returns the block this allocator draws from.
+func (al *Allocator) Parent() Prefix { return al.parent }
+
+// Alloc carves a prefix of the requested mask length out of the free space.
+// It returns an error when the block is exhausted or bits is shorter than the
+// parent's mask.
+func (al *Allocator) Alloc(bits int) (Prefix, error) {
+	if bits < al.parent.Bits() || bits > 32 {
+		return Prefix{}, fmt.Errorf("netaddr: cannot allocate /%d from %v", bits, al.parent)
+	}
+	for i, blk := range al.free {
+		if blk.Bits() > bits {
+			continue
+		}
+		// Remove blk, split it down to the requested size, return the low
+		// half and push the remainders back onto the free list.
+		al.free = append(al.free[:i], al.free[i+1:]...)
+		for blk.Bits() < bits {
+			lo, hi := blk.Halves()
+			al.insertFree(hi)
+			blk = lo
+		}
+		return blk, nil
+	}
+	return Prefix{}, fmt.Errorf("netaddr: block %v exhausted for /%d", al.parent, bits)
+}
+
+// Free returns a previously allocated prefix to the pool. Adjacent buddies
+// are coalesced so the space can be re-carved at different sizes.
+func (al *Allocator) Free(p Prefix) error {
+	if !al.parent.ContainsPrefix(p) {
+		return fmt.Errorf("netaddr: %v is not within %v", p, al.parent)
+	}
+	for _, blk := range al.free {
+		if blk.Overlaps(p) {
+			return fmt.Errorf("netaddr: double free of %v (overlaps free %v)", p, blk)
+		}
+	}
+	// Coalesce with the buddy repeatedly.
+	for p.Bits() > al.parent.Bits() {
+		sib := p.Sibling()
+		idx := -1
+		for i, blk := range al.free {
+			if blk == sib {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		al.free = append(al.free[:idx], al.free[idx+1:]...)
+		p = p.Supernet()
+	}
+	al.insertFree(p)
+	return nil
+}
+
+// FreeSpace returns the total number of addresses currently unallocated.
+func (al *Allocator) FreeSpace() uint64 {
+	var n uint64
+	for _, blk := range al.free {
+		n += blk.NumAddresses()
+	}
+	return n
+}
+
+func (al *Allocator) insertFree(p Prefix) {
+	lo, hi := 0, len(al.free)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if al.free[mid].Compare(p) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	al.free = append(al.free, Prefix{})
+	copy(al.free[lo+1:], al.free[lo:])
+	al.free[lo] = p
+}

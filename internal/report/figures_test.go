@@ -1,0 +1,357 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"instability"
+	"instability/internal/core"
+	"instability/internal/report"
+	"instability/internal/workload"
+)
+
+// fixture runs a five-week scenario with a flood and an outage through the
+// standard pipeline once, shared across the figure tests.
+type fixture struct {
+	p        *instability.Pipeline
+	gen      *workload.Generator
+	floodDay core.Date
+	outDay   core.Date
+}
+
+var shared *fixture
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	if shared != nil {
+		return shared
+	}
+	cfg := workload.SmallConfig()
+	cfg.Days = 35
+	cfg.Incidents = []workload.Incident{
+		{Kind: workload.PathologicalFlood, Day: 10, Magnitude: 1},
+		{Kind: workload.CollectorOutage, Day: 20, Magnitude: 1},
+	}
+	p := instability.NewPipeline()
+	_, gen, err := instability.RunScenario(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := core.DateOf(cfg.Start)
+	shared = &fixture{p: p, gen: gen, floodDay: start + 10, outDay: start + 20}
+	return shared
+}
+
+func TestTable1FloodDay(t *testing.T) {
+	f := getFixture(t)
+	res := report.Table1(f.p.Acc, f.floodDay)
+	if len(res.Rows) < 3 {
+		t.Fatalf("%d providers", len(res.Rows))
+	}
+	// One provider must show the ISP-I signature: withdrawals an order of
+	// magnitude (or more) above its announcements.
+	found := false
+	for _, row := range res.Rows {
+		if row.Withdraw > 10*row.Announce && row.Withdraw > 1000 {
+			found = true
+			if row.Unique == 0 {
+				t.Error("flood provider has zero unique prefixes")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no provider shows the pathological flood signature: %+v", res.Rows)
+	}
+	// Rows sorted by AS.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Peer.AS < res.Rows[i-1].Peer.AS {
+			t.Fatal("rows not sorted")
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "Table 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig1ExchangeCensus(t *testing.T) {
+	f := getFixture(t)
+	res := report.Fig1(f.gen.Topology())
+	if len(res.Exchanges) != 5 {
+		t.Fatalf("%d exchanges", len(res.Exchanges))
+	}
+	if res.Exchanges[0] != "Mae-East" {
+		t.Fatalf("first exchange %q", res.Exchanges[0])
+	}
+	for i, n := range res.Peers {
+		if n == 0 {
+			t.Fatalf("exchange %s has 0 peers", res.Exchanges[i])
+		}
+		if n > res.Peers[0] {
+			t.Fatal("Mae-East should be largest")
+		}
+	}
+	if !strings.Contains(res.String(), "Mae-East") {
+		t.Fatal("render missing exchange")
+	}
+}
+
+func TestFig2MonthlyBreakdown(t *testing.T) {
+	f := getFixture(t)
+	res := report.Fig2(f.p.Acc)
+	if len(res.Months) < 2 {
+		t.Fatalf("months %v", res.Months)
+	}
+	var dup, diff int
+	for _, m := range res.Months {
+		c := res.Counts[m]
+		dup += c[core.AADup] + c[core.WADup]
+		diff += c[core.AADiff] + c[core.WADiff]
+	}
+	if dup <= diff {
+		t.Fatalf("duplicate classes (%d) should dominate the diffs (%d), per Figure 2", dup, diff)
+	}
+	if !strings.Contains(res.String(), "AADup") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFig3DensityMatrix(t *testing.T) {
+	f := getFixture(t)
+	outs := map[core.Date]bool{f.outDay: true}
+	res := report.Fig3(f.p.Acc, outs)
+	if len(res.Grid) != 35 {
+		t.Fatalf("%d rows", len(res.Grid))
+	}
+	for d, row := range res.Grid {
+		if len(row) != core.TenMinBins || len(res.Above[d]) != core.TenMinBins {
+			t.Fatal("row width wrong")
+		}
+	}
+	// Weekend flags: 1996-03-01 was a Friday, so rows 1,2 are the weekend.
+	if !res.Weekend[1] || !res.Weekend[2] || res.Weekend[3] {
+		t.Fatalf("weekend flags wrong: %v", res.Weekend[:7])
+	}
+	// The outage day must show missing slots in the afternoon.
+	missing := 0
+	for _, m := range res.Missing[20] {
+		if m {
+			missing++
+		}
+	}
+	if missing < 50 {
+		t.Fatalf("outage day shows only %d missing slots", missing)
+	}
+	// Some slots above threshold overall.
+	above := 0
+	for _, row := range res.Above {
+		for _, a := range row {
+			if a {
+				above++
+			}
+		}
+	}
+	if above == 0 {
+		t.Fatal("no above-threshold density")
+	}
+	if !strings.Contains(res.String(), "#") {
+		t.Fatal("render has no dense cells")
+	}
+}
+
+func TestFig4Week(t *testing.T) {
+	f := getFixture(t)
+	weekStart := f.floodDay + 4 // a calm week
+	res := report.Fig4(f.p.Acc, weekStart)
+	if len(res.Series) != 7*core.TenMinBins {
+		t.Fatalf("series len %d", len(res.Series))
+	}
+	sum := 0.0
+	for _, v := range res.Series {
+		sum += v
+	}
+	if sum == 0 {
+		t.Fatal("empty week")
+	}
+	if !strings.Contains(res.String(), "Mon") {
+		t.Fatal("render missing days")
+	}
+}
+
+func TestFig5Spectra(t *testing.T) {
+	f := getFixture(t)
+	res := report.Fig5(f.p.Acc, 7)
+	if len(res.FFTPeaks) == 0 || len(res.MEMPeaks) == 0 {
+		t.Fatal("no spectral peaks")
+	}
+	if !report.HasPeriod(res.FFTPeaks, 24, 0.2) && !report.HasPeriod(res.Significant, 24, 0.2) {
+		t.Fatalf("24h cycle not found: FFT %+v", res.FFTPeaks)
+	}
+	if len(res.SSA) != 5 {
+		t.Fatalf("SSA components %d", len(res.SSA))
+	}
+	if len(res.Significant) == 0 {
+		t.Fatal("no significant peaks against white noise")
+	}
+	if !strings.Contains(res.String(), "SSA") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFig6Scatter(t *testing.T) {
+	f := getFixture(t)
+	res := report.Fig6(f.p.Acc)
+	for _, c := range []core.Class{core.AADiff, core.WADiff, core.AADup, core.WADup} {
+		pts := res.Points[c]
+		if len(pts) == 0 {
+			t.Fatalf("no points for %v", c)
+		}
+		for _, p := range pts {
+			if p.TableShare < 0 || p.TableShare > 1 || p.UpdateShare < 0 || p.UpdateShare > 1.000001 {
+				t.Fatalf("point out of range: %+v", p)
+			}
+		}
+		if r := res.Correlation[c]; r < -1 || r > 1 {
+			t.Fatalf("correlation %v", r)
+		}
+	}
+	if !strings.Contains(res.String(), "corr") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFig7CDF(t *testing.T) {
+	f := getFixture(t)
+	res := report.Fig7(f.p.Acc)
+	for _, c := range []core.Class{core.AADiff, core.WADiff, core.WADup} {
+		if len(res.Curves[c]) == 0 {
+			t.Fatalf("no curves for %v", c)
+		}
+		for _, curve := range res.Curves[c] {
+			for i := 1; i < len(curve); i++ {
+				if curve[i] < curve[i-1]-1e-9 {
+					t.Fatalf("%v CDF not monotone: %v", c, curve)
+				}
+			}
+			if last := curve[len(curve)-1]; last < 0.99 {
+				t.Fatalf("%v CDF does not reach 1: %v", c, last)
+			}
+		}
+		if res.MedianAtFifty[c] < res.MedianAtTen[c] {
+			t.Fatalf("%v median at 50 below median at 10", c)
+		}
+		// Paper: 80-100%% of daily instability from pairs seen <50 times.
+		if res.MedianAtFifty[c] < 0.5 {
+			t.Fatalf("%v: only %.0f%%%% of events from pairs <=50/day", c, res.MedianAtFifty[c]*100)
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 7") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFig8InterArrival(t *testing.T) {
+	f := getFixture(t)
+	res := report.Fig8(f.p.Acc)
+	for _, c := range []core.Class{core.AADup, core.WADup} {
+		if len(res.Median[c]) != core.NumBins {
+			t.Fatalf("%v medians %d bins", c, len(res.Median[c]))
+		}
+		for b := range res.Median[c] {
+			if res.Q1[c][b] > res.Median[c][b] || res.Median[c][b] > res.Q3[c][b] {
+				t.Fatalf("%v bin %d quartiles out of order", c, b)
+			}
+		}
+		if res.ThirtyAndSixty[c] < 0.35 {
+			t.Fatalf("%v 30s+1m share %.0f%%, want the dominant mass", c, res.ThirtyAndSixty[c]*100)
+		}
+	}
+	if !strings.Contains(res.String(), "30s") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFig9Proportions(t *testing.T) {
+	f := getFixture(t)
+	res := report.Fig9(f.p.Acc, map[core.Date]bool{f.outDay: true, core.DateOf(workload.SmallConfig().Start): true})
+	if len(res.Days) < 30 {
+		t.Fatalf("%d days", len(res.Days))
+	}
+	var stable, wadiff []float64
+	for _, d := range res.Days {
+		stable = append(stable, d.StableFrac)
+		wadiff = append(wadiff, d.WADiffFrac)
+		if d.AnyFrac < 0 {
+			t.Fatal("negative fraction")
+		}
+	}
+	med := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if med(stable) < 0.6 {
+		t.Fatalf("mean stable fraction %.2f, paper reports >0.8", med(stable))
+	}
+	if med(wadiff) > 0.15 {
+		t.Fatalf("mean WADiff fraction %.2f, paper reports 0.03-0.10", med(wadiff))
+	}
+	if !strings.Contains(res.String(), "stable") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFig10Multihoming(t *testing.T) {
+	f := getFixture(t)
+	res := report.Fig10(f.p.CensusByDay)
+	if len(res.Dates) != 35 {
+		t.Fatalf("%d dates", len(res.Dates))
+	}
+	if res.GrowthPerDay <= 0 {
+		t.Fatalf("growth %v, want positive (linear growth claim)", res.GrowthPerDay)
+	}
+	if res.FinalShare <= 0 {
+		t.Fatal("no multihomed prefixes at end")
+	}
+	for i := 1; i < len(res.Dates); i++ {
+		if res.Dates[i] <= res.Dates[i-1] {
+			t.Fatal("dates not sorted")
+		}
+	}
+	if !strings.Contains(res.String(), "growth") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	tab := report.Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Note:   "n",
+	}
+	s := tab.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "333") || !strings.Contains(s, "n\n") {
+		t.Fatalf("table render:\n%s", s)
+	}
+	if report.Bar(5, 10, 10) != "#####" {
+		t.Fatalf("bar %q", report.Bar(5, 10, 10))
+	}
+	if report.Bar(0, 10, 10) != "" || report.Bar(1, 0, 10) != "" {
+		t.Fatal("bar edge cases")
+	}
+	if report.Bar(100, 10, 10) != "##########" {
+		t.Fatal("bar clamp")
+	}
+	if report.FormatCount(2479023) != "2,479,023" {
+		t.Fatalf("FormatCount: %q", report.FormatCount(2479023))
+	}
+	if report.FormatCount(42) != "42" {
+		t.Fatal("FormatCount small")
+	}
+	row := report.DensityRow([]float64{0, 1, 2}, 0.5, []bool{false, false, true})
+	if row != ".# " {
+		t.Fatalf("density row %q", row)
+	}
+}

@@ -1,0 +1,110 @@
+// Package report computes and renders the paper's tables and figures from
+// pipeline statistics: fixed-width ASCII tables, density grids, histogram
+// bars, and series listings. Each FigN/TableN function returns a structured
+// result (asserted on by the benchmark harness) whose String method renders
+// the same rows or series the paper reports.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a fixed-width ASCII table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Note is printed under the table.
+	Note string
+}
+
+// String renders the table.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		sb.WriteString(t.Note)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Bar renders a horizontal bar of width proportional to v/max (max width
+// cols).
+func Bar(v, max float64, cols int) string {
+	if max <= 0 || v <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(cols))
+	if n > cols {
+		n = cols
+	}
+	if n == 0 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}
+
+// DensityRow renders one row of a Figure-3-style density grid: '.' for
+// below-threshold slots, '#' above, ' ' for missing data.
+func DensityRow(values []float64, threshold float64, missing []bool) string {
+	var sb strings.Builder
+	for i, v := range values {
+		switch {
+		case missing != nil && i < len(missing) && missing[i]:
+			sb.WriteByte(' ')
+		case v > threshold:
+			sb.WriteByte('#')
+		default:
+			sb.WriteByte('.')
+		}
+	}
+	return sb.String()
+}
+
+// FormatCount renders large counts with thousands separators.
+func FormatCount(n int) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	return s + "," + strings.Join(parts, ",")
+}

@@ -1,0 +1,326 @@
+package rib
+
+import (
+	"fmt"
+
+	"instability/internal/bgp"
+	"instability/internal/netaddr"
+)
+
+// PeerID identifies a peering session in a RIB: the neighbor's AS plus its
+// BGP identifier.
+type PeerID struct {
+	AS bgp.ASN
+	ID netaddr.Addr
+}
+
+// String formats the peer for logs and tables.
+func (p PeerID) String() string { return fmt.Sprintf("%v/%v", p.AS, p.ID) }
+
+// entry is one candidate route learned from one peer.
+type entry struct {
+	peer  PeerID
+	attrs bgp.Attrs
+}
+
+// prefixState holds all candidates for a prefix plus the current best index.
+type prefixState struct {
+	candidates []entry
+	best       int // index into candidates, -1 when none
+}
+
+// Decision describes how a RIB change affected the best route for a prefix,
+// which is exactly what a border router propagates to its peers.
+type Decision struct {
+	Prefix netaddr.Prefix
+	// HadBest/NewBest describe the before/after best route.
+	HadBest bool
+	Old     bgp.Attrs
+	OldPeer PeerID
+	HasBest bool
+	New     bgp.Attrs
+	NewPeer PeerID
+}
+
+// Changed reports whether the best forwarding route differs after the update
+// (including appearing or disappearing).
+func (d Decision) Changed() bool {
+	if d.HadBest != d.HasBest {
+		return true
+	}
+	if !d.HasBest {
+		return false
+	}
+	return d.OldPeer != d.NewPeer || !d.Old.ForwardingEqual(d.New)
+}
+
+// PolicyChanged reports whether any attribute of the best route differs, even
+// if the forwarding tuple is unchanged (the paper's policy fluctuation).
+func (d Decision) PolicyChanged() bool {
+	if d.HadBest != d.HasBest {
+		return true
+	}
+	if !d.HasBest {
+		return false
+	}
+	return d.OldPeer != d.NewPeer || !d.Old.PolicyEqual(d.New)
+}
+
+// RIB is a router's routing information base: per-peer Adj-RIB-In candidates
+// merged into a Loc-RIB by the BGP decision process.
+type RIB struct {
+	localAS bgp.ASN
+	table   Trie[*prefixState]
+}
+
+// New returns an empty RIB for a router in the given AS.
+func New(localAS bgp.ASN) *RIB {
+	return &RIB{localAS: localAS}
+}
+
+// LocalAS returns the AS this RIB belongs to.
+func (r *RIB) LocalAS() bgp.ASN { return r.localAS }
+
+// Len returns the number of prefixes with at least one candidate route.
+func (r *RIB) Len() int { return r.table.Len() }
+
+// Update installs (or replaces) the route for prefix learned from peer and
+// re-runs the decision process. Routes whose AS_PATH contains the local AS
+// are rejected as loops: the candidate is not installed and the returned
+// Decision reflects no change.
+func (r *RIB) Update(peer PeerID, prefix netaddr.Prefix, attrs bgp.Attrs) Decision {
+	d := Decision{Prefix: prefix}
+	st, ok := r.table.Get(prefix)
+	if ok && st.best >= 0 {
+		d.HadBest = true
+		d.Old = st.candidates[st.best].attrs
+		d.OldPeer = st.candidates[st.best].peer
+	}
+	if attrs.Path.Contains(r.localAS) {
+		// Loop detected; leave state untouched.
+		d.HasBest, d.New, d.NewPeer = d.HadBest, d.Old, d.OldPeer
+		return d
+	}
+	if !ok {
+		st = &prefixState{best: -1}
+		r.table.Insert(prefix, st)
+	}
+	replaced := false
+	for i := range st.candidates {
+		if st.candidates[i].peer == peer {
+			st.candidates[i].attrs = attrs
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		st.candidates = append(st.candidates, entry{peer: peer, attrs: attrs})
+	}
+	r.decide(st)
+	if st.best >= 0 {
+		d.HasBest = true
+		d.New = st.candidates[st.best].attrs
+		d.NewPeer = st.candidates[st.best].peer
+	}
+	return d
+}
+
+// Withdraw removes peer's candidate for prefix and re-runs the decision
+// process. Withdrawing a route that was never announced is a no-op whose
+// Decision reports no change — the pathological WWDup case.
+func (r *RIB) Withdraw(peer PeerID, prefix netaddr.Prefix) Decision {
+	d := Decision{Prefix: prefix}
+	st, ok := r.table.Get(prefix)
+	if !ok {
+		return d
+	}
+	if st.best >= 0 {
+		d.HadBest = true
+		d.Old = st.candidates[st.best].attrs
+		d.OldPeer = st.candidates[st.best].peer
+	}
+	for i := range st.candidates {
+		if st.candidates[i].peer == peer {
+			st.candidates = append(st.candidates[:i], st.candidates[i+1:]...)
+			break
+		}
+	}
+	if len(st.candidates) == 0 {
+		r.table.Delete(prefix)
+		return d
+	}
+	r.decide(st)
+	if st.best >= 0 {
+		d.HasBest = true
+		d.New = st.candidates[st.best].attrs
+		d.NewPeer = st.candidates[st.best].peer
+	}
+	return d
+}
+
+// WithdrawPeer removes every candidate learned from peer — the effect of a
+// session loss — and returns the decisions for all prefixes whose best route
+// changed. This is the mechanism by which one failed peering session floods
+// topology changes to every other peer (the seed of a route flap storm).
+func (r *RIB) WithdrawPeer(peer PeerID) []Decision {
+	var affected []netaddr.Prefix
+	r.table.Walk(func(p netaddr.Prefix, st *prefixState) bool {
+		for _, c := range st.candidates {
+			if c.peer == peer {
+				affected = append(affected, p)
+				break
+			}
+		}
+		return true
+	})
+	out := make([]Decision, 0, len(affected))
+	for _, p := range affected {
+		d := r.Withdraw(peer, p)
+		if d.Changed() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// decide runs the BGP decision process over the candidates.
+//
+// Preference order (RFC 1771 §9.1 as commonly implemented in 1996):
+//  1. highest LOCAL_PREF (absent treated as 100)
+//  2. shortest AS_PATH
+//  3. lowest ORIGIN code
+//  4. lowest MED (absent treated as 0; compared across all neighbors, the
+//     era's common "always-compare-med" simplification)
+//  5. lowest peer BGP identifier (deterministic tie-break)
+func (r *RIB) decide(st *prefixState) {
+	best := -1
+	for i := range st.candidates {
+		if best < 0 || better(st.candidates[i], st.candidates[best]) {
+			best = i
+		}
+	}
+	st.best = best
+}
+
+func better(a, b entry) bool {
+	la, lb := localPref(a.attrs), localPref(b.attrs)
+	if la != lb {
+		return la > lb
+	}
+	if al, bl := a.attrs.Path.Len(), b.attrs.Path.Len(); al != bl {
+		return al < bl
+	}
+	if a.attrs.Origin != b.attrs.Origin {
+		return a.attrs.Origin < b.attrs.Origin
+	}
+	if ma, mb := med(a.attrs), med(b.attrs); ma != mb {
+		return ma < mb
+	}
+	return a.peer.ID < b.peer.ID
+}
+
+func localPref(a bgp.Attrs) uint32 {
+	if a.HasLocalPref {
+		return a.LocalPref
+	}
+	return 100
+}
+
+func med(a bgp.Attrs) uint32 {
+	if a.HasMED {
+		return a.MED
+	}
+	return 0
+}
+
+// Best returns the current best route for prefix.
+func (r *RIB) Best(prefix netaddr.Prefix) (bgp.Attrs, PeerID, bool) {
+	st, ok := r.table.Get(prefix)
+	if !ok || st.best < 0 {
+		return bgp.Attrs{}, PeerID{}, false
+	}
+	return st.candidates[st.best].attrs, st.candidates[st.best].peer, true
+}
+
+// Candidates returns the number of candidate routes held for prefix.
+func (r *RIB) Candidates(prefix netaddr.Prefix) int {
+	st, ok := r.table.Get(prefix)
+	if !ok {
+		return 0
+	}
+	return len(st.candidates)
+}
+
+// Lookup performs a longest-prefix-match forwarding lookup for a.
+func (r *RIB) Lookup(a netaddr.Addr) (netaddr.Prefix, bgp.Attrs, bool) {
+	p, st, ok := r.table.LongestMatch(a)
+	if !ok || st.best < 0 {
+		return netaddr.Prefix{}, bgp.Attrs{}, false
+	}
+	return p, st.candidates[st.best].attrs, true
+}
+
+// WalkBest visits every prefix that currently has a best route.
+func (r *RIB) WalkBest(fn func(p netaddr.Prefix, attrs bgp.Attrs, peer PeerID) bool) {
+	r.table.Walk(func(p netaddr.Prefix, st *prefixState) bool {
+		if st.best < 0 {
+			return true
+		}
+		c := st.candidates[st.best]
+		return fn(p, c.attrs, c.peer)
+	})
+}
+
+// Census summarizes the routing table the way the paper's §6 does: total
+// prefixes, the number reachable via two or more distinct paths (multihomed,
+// Figure 10), distinct origin ASes, and distinct AS paths.
+type Census struct {
+	Prefixes    int
+	Multihomed  int
+	OriginASes  int
+	UniquePaths int
+}
+
+// MultihomedShare returns the multihomed fraction of the table (the paper
+// reports >25%).
+func (c Census) MultihomedShare() float64 {
+	if c.Prefixes == 0 {
+		return 0
+	}
+	return float64(c.Multihomed) / float64(c.Prefixes)
+}
+
+// TakeCensus computes a Census over the current table. A prefix counts as
+// multihomed when its candidates traverse at least two distinct neighboring
+// ASes or two distinct origin ASes — i.e. the destination is reachable over
+// more than one provider and the prefix cannot be aggregated away.
+func (r *RIB) TakeCensus() Census {
+	var c Census
+	origins := make(map[bgp.ASN]struct{})
+	paths := make(map[string]struct{})
+	r.table.Walk(func(_ netaddr.Prefix, st *prefixState) bool {
+		if len(st.candidates) == 0 {
+			return true
+		}
+		c.Prefixes++
+		firsts := make(map[bgp.ASN]struct{}, len(st.candidates))
+		origs := make(map[bgp.ASN]struct{}, len(st.candidates))
+		for _, cand := range st.candidates {
+			if f, ok := cand.attrs.Path.First(); ok {
+				firsts[f] = struct{}{}
+			}
+			if o, ok := cand.attrs.Path.Origin(); ok {
+				origs[o] = struct{}{}
+				origins[o] = struct{}{}
+			}
+			paths[cand.attrs.Path.Key()] = struct{}{}
+		}
+		if len(firsts) > 1 || len(origs) > 1 {
+			c.Multihomed++
+		}
+		return true
+	})
+	c.OriginASes = len(origins)
+	c.UniquePaths = len(paths)
+	return c
+}

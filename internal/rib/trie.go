@@ -1,0 +1,165 @@
+// Package rib implements the routing information base used by the simulated
+// routers and route servers: a binary radix trie keyed by prefix, the
+// Adj-RIB-In / Loc-RIB / Adj-RIB-Out split of RFC 1771, the BGP decision
+// process, CIDR aggregation, and the multihoming census the paper's Figure 10
+// is built on.
+package rib
+
+import (
+	"instability/internal/netaddr"
+)
+
+// Trie is a binary radix trie mapping prefixes to values. The zero value is
+// an empty trie ready to use.
+//
+// The trie supports exact-match insert/delete/lookup, longest-prefix match,
+// and ordered traversal. It is not safe for concurrent mutation.
+type Trie[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	child [2]*node[V]
+	val   V
+	set   bool
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert stores val under p, replacing any previous value. It reports whether
+// the prefix was newly added.
+func (t *Trie[V]) Insert(p netaddr.Prefix, val V) bool {
+	if t.root == nil {
+		t.root = &node[V]{}
+	}
+	n := t.root
+	for i := 0; i < p.Bits(); i++ {
+		b := p.Bit(i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	added := !n.set
+	n.val, n.set = val, true
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// Get returns the value stored exactly at p.
+func (t *Trie[V]) Get(p netaddr.Prefix) (V, bool) {
+	var zero V
+	n := t.root
+	for i := 0; n != nil && i < p.Bits(); i++ {
+		n = n.child[p.Bit(i)]
+	}
+	if n == nil || !n.set {
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Delete removes the value stored exactly at p, pruning empty branches. It
+// reports whether a value was present.
+func (t *Trie[V]) Delete(p netaddr.Prefix) bool {
+	// Track the path for pruning.
+	path := make([]*node[V], 0, p.Bits()+1)
+	n := t.root
+	for i := 0; n != nil && i < p.Bits(); i++ {
+		path = append(path, n)
+		n = n.child[p.Bit(i)]
+	}
+	if n == nil || !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	// Prune leaf chains bottom-up.
+	for i := len(path) - 1; i >= 0; i-- {
+		child := path[i].child[p.Bit(i)]
+		if child.set || child.child[0] != nil || child.child[1] != nil {
+			break
+		}
+		path[i].child[p.Bit(i)] = nil
+	}
+	if t.root != nil && !t.root.set && t.root.child[0] == nil && t.root.child[1] == nil {
+		t.root = nil
+	}
+	return true
+}
+
+// LongestMatch returns the most specific stored prefix containing a, in the
+// manner of a forwarding lookup.
+func (t *Trie[V]) LongestMatch(a netaddr.Addr) (netaddr.Prefix, V, bool) {
+	var (
+		bestP  netaddr.Prefix
+		bestV  V
+		found  bool
+		prefix uint32
+	)
+	n := t.root
+	for i := 0; n != nil; i++ {
+		if n.set {
+			bestP = netaddr.MustPrefix(netaddr.Addr(prefix), i)
+			bestV = n.val
+			found = true
+		}
+		if i == 32 {
+			break
+		}
+		b := int(a>>(31-uint(i))) & 1
+		if b == 1 {
+			prefix |= 1 << (31 - uint(i))
+		}
+		n = n.child[b]
+	}
+	return bestP, bestV, found
+}
+
+// Walk visits every stored prefix in Compare order (address, then mask
+// length). Returning false from fn stops the walk.
+func (t *Trie[V]) Walk(fn func(p netaddr.Prefix, v V) bool) {
+	t.walk(t.root, 0, 0, fn)
+}
+
+func (t *Trie[V]) walk(n *node[V], addr uint32, depth int, fn func(netaddr.Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.set {
+		if !fn(netaddr.MustPrefix(netaddr.Addr(addr), depth), n.val) {
+			return false
+		}
+	}
+	if depth == 32 {
+		return true
+	}
+	if !t.walk(n.child[0], addr, depth+1, fn) {
+		return false
+	}
+	return t.walk(n.child[1], addr|1<<(31-uint(depth)), depth+1, fn)
+}
+
+// Covered visits every stored prefix contained within p (including p itself).
+func (t *Trie[V]) Covered(p netaddr.Prefix, fn func(q netaddr.Prefix, v V) bool) {
+	n := t.root
+	for i := 0; n != nil && i < p.Bits(); i++ {
+		n = n.child[p.Bit(i)]
+	}
+	t.walk(n, uint32(p.Addr()), p.Bits(), fn)
+}
+
+// Prefixes returns all stored prefixes in Compare order.
+func (t *Trie[V]) Prefixes() []netaddr.Prefix {
+	out := make([]netaddr.Prefix, 0, t.size)
+	t.Walk(func(p netaddr.Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,107 @@
+// Package session implements the BGP peering session: the RFC 1771 finite
+// state machine, hold and keepalive timers, and outbound update batching on
+// the MinRouteAdvertisementInterval timer.
+//
+// Two implementation behaviors the paper identifies as pathology sources are
+// first-class configuration here:
+//
+//   - Stateless Adj-RIB-Out ("stateless BGP"): the router keeps no record of
+//     what it advertised to each peer, so every topology change emits
+//     withdrawals to all peers — including peers that never received an
+//     announcement. Receivers observe the paper's WWDup pathology.
+//   - Unjittered 30-second interval timer: outbound changes are batched on a
+//     fixed-period timer; an A1,A2,A1 sequence inside one interval flushes as
+//     a duplicate announcement (AADup), and W,A,W flushes as a duplicate
+//     withdrawal. The same fixed timer is the coupling mechanism for
+//     Floyd–Jacobson self-synchronization.
+//
+// The session core is a synchronous, single-threaded state machine driven by
+// injected transport and timer events, so it runs unchanged under the
+// discrete-event simulator and, via Runner, over real TCP connections.
+package session
+
+import (
+	"sync"
+	"time"
+
+	"instability/internal/events"
+)
+
+// Canceler stops a pending timer.
+type Canceler interface {
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+}
+
+// Clock abstracts time for the session FSM: virtual time under the
+// simulator, wall-clock time under Runner.
+type Clock interface {
+	Now() time.Time
+	// After schedules fn after d. Implementations must deliver fn on the
+	// same serialization domain as the rest of the FSM's inputs.
+	After(d time.Duration, fn func()) Canceler
+	// Jitter returns d perturbed by ±frac (0 means unjittered).
+	Jitter(d time.Duration, frac float64) time.Duration
+}
+
+// SimClock adapts an events.Sim to the Clock interface. The name argument
+// selects the RNG stream used for jitter so distinct sessions draw
+// independent jitter.
+func SimClock(sim *events.Sim, name string) Clock {
+	return simClock{sim: sim, name: name}
+}
+
+type simClock struct {
+	sim  *events.Sim
+	name string
+}
+
+func (c simClock) Now() time.Time { return c.sim.Now() }
+
+func (c simClock) After(d time.Duration, fn func()) Canceler {
+	return c.sim.Schedule(d, fn)
+}
+
+func (c simClock) Jitter(d time.Duration, frac float64) time.Duration {
+	return c.sim.Jitter(c.name+"/jitter", d, frac)
+}
+
+// RealClock returns a wall-clock Clock whose callbacks are serialized through
+// mu, so Runner can share one lock between timer callbacks and reader
+// goroutine events.
+func RealClock(mu *sync.Mutex, jitterSeed func() float64) Clock {
+	return &realClock{mu: mu, rand: jitterSeed}
+}
+
+type realClock struct {
+	mu   *sync.Mutex
+	rand func() float64
+}
+
+func (c *realClock) Now() time.Time { return time.Now() }
+
+func (c *realClock) After(d time.Duration, fn func()) Canceler {
+	t := time.AfterFunc(d, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		fn()
+	})
+	return realCancel{t}
+}
+
+func (c *realClock) Jitter(d time.Duration, frac float64) time.Duration {
+	if frac <= 0 {
+		return d
+	}
+	u := 0.5
+	if c.rand != nil {
+		u = c.rand()
+	}
+	lo := float64(d) * (1 - frac)
+	hi := float64(d) * (1 + frac)
+	return time.Duration(lo + u*(hi-lo))
+}
+
+type realCancel struct{ t *time.Timer }
+
+func (r realCancel) Stop() bool { return r.t.Stop() }

@@ -1,0 +1,204 @@
+package session
+
+import (
+	"sort"
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/netaddr"
+)
+
+// Announce queues an announcement of prefix with the given attributes toward
+// the peer. Successive calls for the same prefix within one MRAI interval
+// supersede each other; only the latest state is flushed.
+func (p *Peer) Announce(prefix netaddr.Prefix, attrs bgp.Attrs) {
+	delete(p.pendingWd, prefix)
+	p.pendingAnn[prefix] = attrs
+	p.kickFlush()
+}
+
+// Withdraw queues a withdrawal of prefix toward the peer.
+//
+// A stateless implementation queues the withdrawal unconditionally — even if
+// the prefix was never advertised to this peer — reproducing the paper's
+// WWDup-generating vendor behavior. A stateful implementation consults its
+// Adj-RIB-Out and drops withdrawals for prefixes the peer was never told
+// about.
+func (p *Peer) Withdraw(prefix netaddr.Prefix) {
+	_, wasPending := p.pendingAnn[prefix]
+	delete(p.pendingAnn, prefix)
+	if !p.cfg.Stateless {
+		_, wasAdvertised := p.advertised[prefix]
+		if !wasAdvertised && !wasPending {
+			return
+		}
+	}
+	p.pendingWd[prefix] = struct{}{}
+	p.kickFlush()
+}
+
+// Advertised reports whether the Adj-RIB-Out currently records prefix as
+// announced to the peer. Stateless sessions keep no such record and always
+// report false.
+func (p *Peer) Advertised(prefix netaddr.Prefix) bool {
+	if p.cfg.Stateless {
+		return false
+	}
+	_, ok := p.advertised[prefix]
+	return ok
+}
+
+// PendingChanges returns the number of queued, unflushed route changes.
+func (p *Peer) PendingChanges() int { return len(p.pendingAnn) + len(p.pendingWd) }
+
+// kickFlush arranges for pending changes to be transmitted: immediately when
+// MRAI is zero, otherwise on the free-running interval timer started at
+// session establishment.
+func (p *Peer) kickFlush() {
+	if p.state != Established {
+		return
+	}
+	if p.cfg.MRAI == 0 && p.mraiTimer == nil {
+		gen := p.generation
+		p.mraiTimer = p.clock.After(0, func() {
+			if p.generation != gen {
+				return
+			}
+			p.mraiTimer = nil
+			p.Flush()
+		})
+	}
+}
+
+// scheduleMRAI starts the free-running interval timer. A fixed (unjittered)
+// period is exactly the vendor timer the paper identifies; per-tick jitter is
+// the remedy.
+func (p *Peer) scheduleMRAI() {
+	if p.cfg.MRAI == 0 {
+		return
+	}
+	gen := p.generation
+	var tick func()
+	tick = func() {
+		if p.generation != gen || p.state != Established {
+			return
+		}
+		p.Flush()
+		p.mraiTimer = p.clock.After(p.clock.Jitter(p.cfg.MRAI, p.cfg.MRAIJitter), tick)
+	}
+	p.mraiTimer = p.clock.After(p.clock.Jitter(p.cfg.MRAI, p.cfg.MRAIJitter), tick)
+}
+
+// Flush transmits all pending changes now, packing them into as few UPDATE
+// messages as fit. It is normally driven by the MRAI timer but may be called
+// directly (e.g. for the initial table dump right after establishment).
+func (p *Peer) Flush() {
+	if p.state != Established || (len(p.pendingAnn) == 0 && len(p.pendingWd) == 0) {
+		return
+	}
+	p.stats.FlushCount++
+
+	withdrawals := make([]netaddr.Prefix, 0, len(p.pendingWd))
+	for pre := range p.pendingWd {
+		if !p.cfg.Stateless {
+			if _, ok := p.advertised[pre]; !ok {
+				continue // peer never heard of it; suppress the duplicate
+			}
+		}
+		withdrawals = append(withdrawals, pre)
+	}
+	bgp.SortPrefixes(withdrawals)
+
+	// Group announcements by identical attribute sets so they share one
+	// UPDATE, as real speakers pack them.
+	groups := make(map[string][]netaddr.Prefix)
+	attrsByKey := make(map[string]bgp.Attrs)
+	annPrefixes := make([]netaddr.Prefix, 0, len(p.pendingAnn))
+	for pre := range p.pendingAnn {
+		annPrefixes = append(annPrefixes, pre)
+	}
+	bgp.SortPrefixes(annPrefixes)
+	for _, pre := range annPrefixes {
+		attrs := p.pendingAnn[pre]
+		if p.cfg.CompareLastSent && !p.cfg.Stateless {
+			if prev, ok := p.advertised[pre]; ok && prev.PolicyEqual(attrs) {
+				continue // identical to what the peer holds; suppress
+			}
+		}
+		key := attrKey(attrs)
+		groups[key] = append(groups[key], pre)
+		attrsByKey[key] = attrs
+	}
+
+	// Record Adj-RIB-Out effects (stateful only).
+	if !p.cfg.Stateless {
+		for _, pre := range withdrawals {
+			delete(p.advertised, pre)
+		}
+		for _, pres := range groups {
+			for _, pre := range pres {
+				p.advertised[pre] = p.pendingAnn[pre]
+			}
+		}
+	}
+	p.pendingAnn = make(map[netaddr.Prefix]bgp.Attrs)
+	p.pendingWd = make(map[netaddr.Prefix]struct{})
+
+	// Emit withdrawals, chunked to honor the 4096-octet message limit.
+	const maxPerMsg = 800 // conservative: 5 octets per /32 NLRI
+	for len(withdrawals) > 0 {
+		n := len(withdrawals)
+		if n > maxPerMsg {
+			n = maxPerMsg
+		}
+		p.send(bgp.Update{Withdrawn: withdrawals[:n]})
+		withdrawals = withdrawals[n:]
+	}
+
+	// Emit announcement groups in deterministic order.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pres := groups[k]
+		for len(pres) > 0 {
+			n := len(pres)
+			if n > maxPerMsg {
+				n = maxPerMsg
+			}
+			p.send(bgp.Update{Attrs: attrsByKey[k], Announced: pres[:n]})
+			pres = pres[n:]
+		}
+	}
+}
+
+// attrKey builds a grouping key covering every attribute that must match for
+// prefixes to share an UPDATE.
+func attrKey(a bgp.Attrs) string {
+	b := make([]byte, 0, 64)
+	b = append(b, byte(a.Origin))
+	b = append(b, a.Path.Key()...)
+	b = append(b, byte(a.NextHop>>24), byte(a.NextHop>>16), byte(a.NextHop>>8), byte(a.NextHop))
+	if a.HasMED {
+		b = append(b, 'M', byte(a.MED>>24), byte(a.MED>>16), byte(a.MED>>8), byte(a.MED))
+	}
+	if a.HasLocalPref {
+		b = append(b, 'L', byte(a.LocalPref>>24), byte(a.LocalPref>>16), byte(a.LocalPref>>8), byte(a.LocalPref))
+	}
+	if a.AtomicAggregate {
+		b = append(b, 'A')
+	}
+	if a.HasAggregator {
+		b = append(b, 'G', byte(a.AggregatorAS>>8), byte(a.AggregatorAS))
+	}
+	for _, c := range a.Communities {
+		b = append(b, 'C', byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+	}
+	return string(b)
+}
+
+// HoldTimeNegotiated returns the negotiated hold time (zero before OPEN
+// exchange or when keepalives are disabled).
+func (p *Peer) HoldTimeNegotiated() time.Duration { return p.holdTime }

@@ -1,0 +1,136 @@
+package session
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+
+	"instability/internal/bgp"
+)
+
+// Runner drives a Peer over a real net.Conn: it serializes FSM input from
+// the reader goroutine and wall-clock timers behind one mutex, and ships
+// outbound messages through a writer goroutine so the FSM never blocks on a
+// slow connection. This is the engine behind the bgpcollect route-server
+// collector.
+type Runner struct {
+	mu     sync.Mutex
+	peer   *Peer
+	conn   net.Conn
+	out    chan bgp.Message
+	closed bool
+	done   chan struct{}
+}
+
+// NewRunner wraps conn in a session endpoint. The caller's callbacks are
+// invoked with the Runner's lock held; they must not call back into the
+// Runner synchronously. Send, Connect and CloseTransport are supplied by the
+// Runner itself and must be left nil in cb.
+func NewRunner(cfg Config, conn net.Conn, cb Callbacks) *Runner {
+	r := &Runner{
+		conn: conn,
+		out:  make(chan bgp.Message, 4096),
+		done: make(chan struct{}),
+	}
+	rng := rand.New(rand.NewSource(rand.Int63()))
+	clock := RealClock(&r.mu, rng.Float64)
+	cb.Send = r.enqueue
+	cb.Connect = func() {} // the connection already exists
+	cb.CloseTransport = r.closeConn
+	r.peer = New(cfg, clock, cb)
+	return r
+}
+
+// Peer exposes the underlying session for inspection. Use Do to touch it
+// safely.
+func (r *Runner) Peer() *Peer { return r.peer }
+
+// Do runs fn with the Runner's lock held, for safe access to the Peer from
+// outside the reader goroutine (e.g. to call Announce/Withdraw/Flush).
+func (r *Runner) Do(fn func(p *Peer)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(r.peer)
+}
+
+// enqueue hands a message to the writer goroutine. Called with r.mu held. A
+// full queue means the peer cannot drain our updates; the session is torn
+// down rather than blocked.
+func (r *Runner) enqueue(msg bgp.Message) {
+	if r.closed {
+		return
+	}
+	select {
+	case r.out <- msg:
+	default:
+		r.closeConn()
+	}
+}
+
+func (r *Runner) closeConn() {
+	if !r.closed {
+		r.closed = true
+		r.conn.Close()
+	}
+}
+
+func (r *Runner) writer() {
+	for {
+		select {
+		case msg := <-r.out:
+			if err := bgp.WriteMessage(r.conn, msg); err != nil {
+				r.conn.Close()
+				return
+			}
+		case <-r.done:
+			return
+		}
+	}
+}
+
+// Run starts the session over the existing connection and blocks reading
+// messages until the connection fails or Close is called. It returns the
+// terminal read error (io.EOF for an orderly remote close).
+func (r *Runner) Run() error {
+	go r.writer()
+	r.mu.Lock()
+	r.peer.Start()
+	r.peer.TransportUp()
+	r.mu.Unlock()
+
+	var err error
+	for {
+		var msg bgp.Message
+		msg, err = bgp.ReadMessage(r.conn)
+		if err != nil {
+			break
+		}
+		r.mu.Lock()
+		r.peer.Deliver(msg)
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			break
+		}
+	}
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		r.conn.Close()
+	}
+	// Suppress the automatic reconnect: the conn is gone for good.
+	r.peer.generation++
+	r.peer.state = Idle
+	r.mu.Unlock()
+	close(r.done)
+	return err
+}
+
+// Close tears the session down and unblocks Run. It must only be called
+// after Run has been started.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	r.closeConn()
+	r.mu.Unlock()
+	<-r.done
+}

@@ -1,0 +1,122 @@
+package session
+
+import (
+	"errors"
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/events"
+)
+
+// Pipe couples two Peers through the discrete-event simulator with a fixed
+// one-way propagation delay, standing in for the TCP connection between two
+// border routers at an exchange point.
+//
+// Construct the Pipe first, build each Peer with the corresponding
+// SendA/SendB function as its Callbacks.Send, then call Bind and Up.
+type Pipe struct {
+	sim   *events.Sim
+	delay time.Duration
+	a, b  *Peer
+	up    bool
+	// Verify marshals and re-parses every message in flight, so simulated
+	// traffic exercises the full wire codec. Off by default for speed.
+	Verify bool
+	// Delivered counts messages that completed transit in each direction.
+	DeliveredAB, DeliveredBA int
+	epoch                    uint64 // invalidates in-flight messages on Down
+}
+
+// NewPipe returns a Pipe over sim with the given one-way delay.
+func NewPipe(sim *events.Sim, delay time.Duration) *Pipe {
+	return &Pipe{sim: sim, delay: delay}
+}
+
+// Bind attaches the two endpoints. It must be called before Up.
+func (l *Pipe) Bind(a, b *Peer) {
+	l.a, l.b = a, b
+}
+
+// Up marks the transport connected and informs both FSMs.
+func (l *Pipe) Up() {
+	if l.a == nil || l.b == nil {
+		panic("session: Pipe.Up before Bind")
+	}
+	l.up = true
+	l.a.TransportUp()
+	l.b.TransportUp()
+}
+
+// IsUp reports whether the transport is currently connected.
+func (l *Pipe) IsUp() bool { return l.up }
+
+// ErrLinkDown is delivered to both FSMs when the pipe fails.
+var ErrLinkDown = errors.New("session: transport link down")
+
+// Down fails the transport: in-flight messages are lost and both FSMs see
+// TransportDown. The peers' ConnectRetry machinery will later call Connect;
+// the environment decides when to call Up again.
+func (l *Pipe) Down() {
+	if !l.up {
+		return
+	}
+	l.up = false
+	l.epoch++
+	l.a.TransportDown(ErrLinkDown)
+	l.b.TransportDown(ErrLinkDown)
+}
+
+// SendA is the Callbacks.Send for the A-side peer.
+func (l *Pipe) SendA(msg bgp.Message) { l.transmit(msg, true) }
+
+// SendB is the Callbacks.Send for the B-side peer.
+func (l *Pipe) SendB(msg bgp.Message) { l.transmit(msg, false) }
+
+func (l *Pipe) transmit(msg bgp.Message, fromA bool) {
+	if !l.up {
+		return
+	}
+	if l.Verify {
+		wire, err := bgp.Marshal(msg)
+		if err != nil {
+			panic("session: unmarshalable message offered to pipe: " + err.Error())
+		}
+		decoded, err := bgp.Unmarshal(wire)
+		if err != nil {
+			panic("session: wire round-trip failed: " + err.Error())
+		}
+		msg = decoded
+	}
+	epoch := l.epoch
+	l.sim.Schedule(l.delay, func() {
+		if !l.up || l.epoch != epoch {
+			return // lost in transit
+		}
+		if fromA {
+			l.DeliveredAB++
+			l.b.Deliver(msg)
+		} else {
+			l.DeliveredBA++
+			l.a.Deliver(msg)
+		}
+	})
+}
+
+// Establish runs the standard bring-up sequence for a freshly built pair:
+// Start both peers, connect the transport, and advance the simulator until
+// both report Established (or the deadline passes). It reports success.
+func Establish(sim *events.Sim, l *Pipe, a, b *Peer, deadline time.Duration) bool {
+	a.Start()
+	b.Start()
+	l.Up()
+	horizon := sim.Now().Add(deadline)
+	for sim.Now().Before(horizon) {
+		if a.State() == Established && b.State() == Established {
+			return true
+		}
+		if sim.RunFor(l.delay+time.Millisecond) == 0 && sim.Pending() == 0 {
+			break
+		}
+	}
+	return a.State() == Established && b.State() == Established
+}

@@ -1,0 +1,178 @@
+// Package synchrony implements the Floyd–Jacobson Periodic Message model the
+// paper invokes to explain how unjittered BGP interval timers could couple
+// apparently independent routers into lock-step update transmission.
+//
+// Each router runs a nominally fixed-period timer. When the timer expires the
+// router prepares and broadcasts its message; preparing or processing a
+// message takes a (randomized) processing time. Two weak couplings follow,
+// both from Floyd and Jacobson's analysis:
+//
+//   - Absorption: a router whose timer expires while it is busy processing a
+//     neighbor's message transmits late, chained onto the end of the busy
+//     period — so routers firing within a few processing times of each other
+//     become locked into one cluster and keep firing together.
+//   - Cluster lag: every member of a cluster of k routers processes its k-1
+//     colleagues' messages before its timer restarts, so the cluster's
+//     effective period exceeds the nominal period by about (k-1) processing
+//     times. Larger clusters lag more, sweep through the phase space, and
+//     absorb every router they pass — which is why the collapse into global
+//     synchrony is abrupt rather than gradual.
+//
+// Per-cycle random jitter larger than the processing time scatters cluster
+// members beyond the absorption window and the system stays incoherent —
+// exactly the remedy Floyd and Jacobson prescribe and the unjittered vendor
+// timer of the paper's §4.2 lacked.
+package synchrony
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Config parameterizes the periodic message model.
+type Config struct {
+	// Routers is the number of periodic senders.
+	Routers int
+	// Period is the nominal timer period in seconds (the paper's 30 s BGP
+	// interval timer).
+	Period float64
+	// ProcessDelay is the mean time to prepare or process one message (the
+	// weak coupling strength).
+	ProcessDelay float64
+	// JitterFrac is the fraction of the period used as uniform random
+	// jitter on each cycle (0 = the pathological unjittered timer).
+	JitterFrac float64
+	// Steps is the number of simulated periods per router.
+	Steps int
+}
+
+// DefaultConfig mirrors the paper's setting: dozens of routers on a fixed
+// 30-second timer.
+func DefaultConfig() Config {
+	return Config{
+		Routers:      30,
+		Period:       30,
+		ProcessDelay: 0.35,
+		JitterFrac:   0,
+		Steps:        2000,
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	// PhaseCoherence is the final Kuramoto-style order parameter in [0,1]:
+	// 1 means all routers fire in phase, ~1/sqrt(N) is the unsynchronized
+	// baseline.
+	PhaseCoherence float64
+	// CoherenceSeries samples the order parameter roughly once per period.
+	CoherenceSeries []float64
+	// SyncStep is the first step (in periods) at which coherence exceeded
+	// 0.9, or -1 if it never did.
+	SyncStep int
+	// MaxClusterShare is the largest fraction of routers firing within a
+	// few processing times of each other at the end of the run.
+	MaxClusterShare float64
+}
+
+// Run simulates the periodic message model: repeatedly the earliest-due
+// cluster of routers fires as one chained event, each member re-arming one
+// period plus the shared cluster lag later.
+func Run(cfg Config, rng *rand.Rand) Result {
+	n := cfg.Routers
+	next := make([]float64, n)
+	for i := range next {
+		// Start uniformly spread over one period: maximally unsynchronized.
+		next[i] = rng.Float64() * cfg.Period
+	}
+	window := 4 * cfg.ProcessDelay
+	res := Result{SyncStep: -1}
+	fires := 0
+	sinceSample := 0
+	totalFires := cfg.Steps * n
+	members := make([]int, 0, n)
+	for fires < totalFires {
+		min := 0
+		for i := 1; i < n; i++ {
+			if next[i] < next[min] {
+				min = i
+			}
+		}
+		t := next[min]
+		// Collect the cluster firing in this chained busy period.
+		members = members[:0]
+		members = append(members, min)
+		for j := range next {
+			if j != min && next[j] > t && next[j] <= t+window {
+				members = append(members, j)
+			}
+		}
+		k := float64(len(members))
+		// Every member processes the k-1 colleague messages before its own
+		// timer restarts: the cluster-size lag.
+		lag := (k - 1) * cfg.ProcessDelay * (0.95 + 0.1*rng.Float64())
+		for idx, j := range members {
+			jitter := 0.0
+			if cfg.JitterFrac > 0 {
+				jitter = (rng.Float64()*2 - 1) * cfg.JitterFrac * cfg.Period
+			}
+			// Chained transmissions stay compact within half a processing
+			// time of each other.
+			chain := cfg.ProcessDelay * 0.5 * float64(idx) / math.Max(1, k-1)
+			noise := cfg.ProcessDelay * (rng.Float64() - 0.5) * 0.2
+			next[j] = t + cfg.Period + lag + chain + noise + jitter
+		}
+		fires += len(members)
+		sinceSample += len(members)
+		if sinceSample >= n {
+			sinceSample = 0
+			c := coherence(next, cfg.Period)
+			res.CoherenceSeries = append(res.CoherenceSeries, c)
+			if c > 0.9 && res.SyncStep < 0 {
+				res.SyncStep = fires / n
+			}
+		}
+	}
+	res.PhaseCoherence = coherence(next, cfg.Period)
+	res.MaxClusterShare = maxCluster(next, cfg.Period, window) / float64(n)
+	return res
+}
+
+// coherence computes the Kuramoto order parameter of the routers' phases
+// (next-fire times modulo the period).
+func coherence(next []float64, period float64) float64 {
+	var re, im float64
+	for _, t := range next {
+		phase := 2 * math.Pi * math.Mod(t, period) / period
+		re += math.Cos(phase)
+		im += math.Sin(phase)
+	}
+	n := float64(len(next))
+	return math.Hypot(re, im) / n
+}
+
+// maxCluster returns the size of the largest set of routers whose phases
+// fall within a window of width w.
+func maxCluster(next []float64, period, w float64) float64 {
+	if w <= 0 {
+		w = period / 100
+	}
+	best := 0
+	for i := range next {
+		pi := math.Mod(next[i], period)
+		count := 0
+		for j := range next {
+			pj := math.Mod(next[j], period)
+			d := math.Abs(pi - pj)
+			if d > period/2 {
+				d = period - d
+			}
+			if d <= w {
+				count++
+			}
+		}
+		if count > best {
+			best = count
+		}
+	}
+	return float64(best)
+}

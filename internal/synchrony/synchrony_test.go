@@ -1,0 +1,98 @@
+package synchrony
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUnjitteredTimersSynchronize(t *testing.T) {
+	cfg := DefaultConfig()
+	res := Run(cfg, rand.New(rand.NewSource(1)))
+	if res.PhaseCoherence < 0.9 {
+		t.Fatalf("unjittered system did not synchronize: coherence %v", res.PhaseCoherence)
+	}
+	if res.SyncStep < 0 {
+		t.Fatal("sync step not recorded")
+	}
+	if res.MaxClusterShare < 0.9 {
+		t.Fatalf("cluster share %v", res.MaxClusterShare)
+	}
+}
+
+func TestJitteredTimersStayUnsynchronized(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterFrac = 0.25
+	res := Run(cfg, rand.New(rand.NewSource(2)))
+	if res.PhaseCoherence > 0.6 {
+		t.Fatalf("jittered system synchronized: coherence %v", res.PhaseCoherence)
+	}
+	if res.MaxClusterShare > 0.6 {
+		t.Fatalf("jittered cluster share %v", res.MaxClusterShare)
+	}
+}
+
+func TestSynchronizationIsAbrupt(t *testing.T) {
+	// Floyd-Jacobson: the transition is abrupt, not gradual. Once coherence
+	// first crosses 0.5 it should reach 0.9 within a small fraction of the
+	// total run.
+	cfg := DefaultConfig()
+	res := Run(cfg, rand.New(rand.NewSource(3)))
+	first50, first90 := -1, -1
+	for i, c := range res.CoherenceSeries {
+		if c > 0.5 && first50 < 0 {
+			first50 = i
+		}
+		if c > 0.9 && first90 < 0 {
+			first90 = i
+			break
+		}
+	}
+	if first50 < 0 || first90 < 0 {
+		t.Fatal("never synchronized")
+	}
+	if rise := first90 - first50; rise > cfg.Steps/4 {
+		t.Fatalf("transition too gradual: %d steps", rise)
+	}
+}
+
+func TestCoherenceBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		cfg := DefaultConfig()
+		cfg.Steps = 100
+		cfg.JitterFrac = float64(trial) * 0.1
+		res := Run(cfg, rng)
+		for i, c := range res.CoherenceSeries {
+			if c < 0 || c > 1+1e-9 || math.IsNaN(c) {
+				t.Fatalf("coherence out of bounds at %d: %v", i, c)
+			}
+		}
+	}
+}
+
+func TestMoreRoutersStillSynchronize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Routers = 60
+	cfg.Steps = 4000
+	res := Run(cfg, rand.New(rand.NewSource(5)))
+	if res.PhaseCoherence < 0.8 {
+		t.Fatalf("60-router unjittered system coherence %v", res.PhaseCoherence)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Run(DefaultConfig(), rand.New(rand.NewSource(6)))
+	b := Run(DefaultConfig(), rand.New(rand.NewSource(6)))
+	if a.PhaseCoherence != b.PhaseCoherence || a.SyncStep != b.SyncStep {
+		t.Fatal("same seed should reproduce exactly")
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Steps = 200
+	for i := 0; i < b.N; i++ {
+		Run(cfg, rand.New(rand.NewSource(int64(i))))
+	}
+}
