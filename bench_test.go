@@ -24,6 +24,7 @@ import (
 	"instability/internal/rib"
 	"instability/internal/router"
 	"instability/internal/session"
+	"instability/internal/store"
 	"instability/internal/synchrony"
 	"instability/internal/topology"
 	"instability/internal/workload"
@@ -472,6 +473,134 @@ func BenchmarkRIBDefaultFreeTable(b *testing.B) {
 		table.Withdraw(altPeer, p)
 	}
 	b.ReportMetric(float64(table.Len()), "table_prefixes")
+}
+
+// ----------------------------------------------------------- irtlstore
+
+var (
+	storeRecsOnce sync.Once
+	storeRecs     []collector.Record
+)
+
+// getStoreCampaign synthesizes one week of updates shared by the store
+// benchmarks.
+func getStoreCampaign(b *testing.B) []collector.Record {
+	b.Helper()
+	storeRecsOnce.Do(func() {
+		cfg := workload.SmallConfig()
+		cfg.Days = 7
+		g, err := workload.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		g.Run(func(r collector.Record) { storeRecs = append(storeRecs, r) }, nil)
+	})
+	return storeRecs
+}
+
+// BenchmarkStoreIngest measures end-to-end ingest throughput: WAL append,
+// memtable build, seal to compressed indexed segments. Each op ingests the
+// whole week-long campaign into a fresh store.
+func BenchmarkStoreIngest(b *testing.B) {
+	recs := getStoreCampaign(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		s, err := store.Open(dir, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := s.Writer()
+		for _, rec := range recs {
+			if err := w.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(recs)), "records_per_op")
+}
+
+// BenchmarkStoreQuery compares a full scan against an indexed query for a
+// single origin AS over the same sealed multi-segment store. The pushdown
+// sub-benchmark must decompress strictly fewer blocks — that is the point
+// of the per-segment indexes — and the reported blocks_decompressed metric
+// makes the difference visible in the bench output.
+func BenchmarkStoreQuery(b *testing.B) {
+	recs := getStoreCampaign(b)
+	s, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	w := s.Writer()
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	// Query the busiest origin so the pushdown case does nontrivial work.
+	byOrigin := make(map[bgp.ASN]int)
+	for _, rec := range recs {
+		if rec.Type == collector.Announce {
+			if o, ok := rec.Attrs.Path.Origin(); ok {
+				byOrigin[o]++
+			}
+		}
+	}
+	var origin bgp.ASN
+	for o, n := range byOrigin {
+		if n > byOrigin[origin] {
+			origin = o
+		}
+	}
+
+	run := func(b *testing.B, q store.Query) store.ScanStats {
+		b.Helper()
+		b.ReportAllocs()
+		var st store.ScanStats
+		var matched int
+		for i := 0; i < b.N; i++ {
+			r, err := s.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			matched = 0
+			for {
+				if _, err := r.Next(); err != nil {
+					break
+				}
+				matched++
+			}
+			st = r.Stats()
+			r.Close()
+		}
+		if matched == 0 {
+			b.Fatal("query matched nothing")
+		}
+		b.ReportMetric(float64(st.BlocksScanned), "blocks_decompressed")
+		b.ReportMetric(float64(matched), "records_matched")
+		return st
+	}
+
+	var full, pushed store.ScanStats
+	b.Run("FullScan", func(b *testing.B) {
+		full = run(b, store.Query{})
+	})
+	b.Run("OriginPushdown", func(b *testing.B) {
+		pushed = run(b, store.Query{OriginAS: []bgp.ASN{origin}})
+	})
+	if full.BlocksScanned > 0 && pushed.BlocksScanned >= full.BlocksScanned {
+		b.Fatalf("pushdown decompressed %d blocks, full scan %d — index not helping",
+			pushed.BlocksScanned, full.BlocksScanned)
+	}
 }
 
 // BenchmarkPipelineFeed measures the full per-record analysis cost

@@ -7,6 +7,11 @@
 //	bgpanalyze -in maeeast.irtl.gz                 # summary
 //	bgpanalyze -in maeeast.irtl.gz -id fig8        # one figure
 //	bgpanalyze -in maeeast.irtl.gz -id all
+//	bgpanalyze -store db -from 1996-05-01 -to 1996-06-01 -peer 690 -id fig6
+//
+// With -store the input is an irtlstore query: the slice to classify is
+// selected by the store's indexes (time window, peer AS, origin AS, prefix)
+// instead of rescanning a flat log.
 package main
 
 import (
@@ -19,24 +24,56 @@ import (
 	"instability/internal/collector"
 	"instability/internal/core"
 	"instability/internal/report"
+	"instability/internal/store"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bgpanalyze: ")
 	var (
-		in  = flag.String("in", "", "input log file")
-		id  = flag.String("id", "summary", "what to print: summary, table1, fig2..fig10, all")
-		day = flag.String("day", "", "day for table1 (YYYY-MM-DD, default: busiest)")
+		in       = flag.String("in", "", "input log file")
+		storeDir = flag.String("store", "", "analyze an irtlstore query instead of a log file")
+		from     = flag.String("from", "", "store query: start time (inclusive)")
+		to       = flag.String("to", "", "store query: end time (exclusive)")
+		peers    = flag.String("peer", "", "store query: comma-separated peer AS list")
+		origins  = flag.String("origin", "", "store query: comma-separated origin AS list")
+		prefix   = flag.String("prefix", "", "store query: exact prefix (CIDR)")
+		id       = flag.String("id", "summary", "what to print: summary, table1, fig2..fig10, all")
+		day      = flag.String("day", "", "day for table1 (YYYY-MM-DD, default: busiest)")
 	)
 	flag.Parse()
-	if *in == "" {
-		log.Fatal("missing -in")
+	if (*in == "") == (*storeDir == "") {
+		log.Fatal("need exactly one of -in or -store")
 	}
 
-	r, exchangeName, err := collector.OpenAny(*in)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		r            collector.RecordReader
+		exchangeName string
+		source       string
+		err          error
+	)
+	if *in != "" {
+		r, exchangeName, err = collector.OpenAny(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		source = *in
+	} else {
+		q, qerr := store.ParseQuery(*from, *to, *peers, *origins, *prefix, "")
+		if qerr != nil {
+			log.Fatal(qerr)
+		}
+		s, serr := store.Open(*storeDir, store.Options{})
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		defer s.Close()
+		r, err = s.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exchangeName = "store"
+		source = *storeDir
 	}
 	defer r.Close()
 	p := instability.NewPipeline()
@@ -47,7 +84,7 @@ func main() {
 	if exchangeName == "" {
 		exchangeName = "MRT"
 	}
-	fmt.Printf("classified %d records from %s (%s)\n\n", n, *in, exchangeName)
+	fmt.Printf("classified %d records from %s (%s)\n\n", n, source, exchangeName)
 
 	table1Day := busiestDay(p.Acc)
 	if *day != "" {

@@ -1,11 +1,13 @@
 // Bgpcollect is a route-server collector speaking real BGP-4 over TCP: it
 // listens for peering sessions, completes the OPEN/KEEPALIVE handshake, and
 // logs every received update in collector format — a minimal Routing Arbiter
-// route server.
+// route server. With -store it also writes through to an irtlstore, so the
+// collected stream is immediately queryable with bgpstore/bgpanalyze.
 //
 // Usage:
 //
 //	bgpcollect -listen :1790 -as 6000 -id 198.32.186.250 -out live.irtl.gz
+//	bgpcollect -listen :1790 -out live.irtl.gz -store livedb
 //
 // Point any BGP speaker at the listen port; stop with SIGINT. The -maxconns
 // flag (default unlimited) makes the collector exit after that many sessions
@@ -20,12 +22,14 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"instability/internal/bgp"
 	"instability/internal/collector"
 	"instability/internal/netaddr"
 	"instability/internal/session"
+	"instability/internal/store"
 )
 
 func main() {
@@ -36,6 +40,7 @@ func main() {
 		asn      = flag.Uint("as", 6000, "local AS number")
 		id       = flag.String("id", "198.32.186.250", "local BGP identifier")
 		out      = flag.String("out", "collected.irtl.gz", "output log file")
+		storeDir = flag.String("store", "", "also write through to an irtlstore at this directory")
 		exchName = flag.String("exchange", "live", "exchange name recorded in the log header")
 		hold     = flag.Duration("hold", 90*time.Second, "proposed hold time")
 		maxConns = flag.Int("maxconns", 0, "exit after this many sessions close (0 = run until SIGINT)")
@@ -50,14 +55,48 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var mu sync.Mutex // serializes log writes across sessions
+	var db *store.Store
+	if *storeDir != "" {
+		if db, err = store.Open(*storeDir, store.Options{AutoSealRecords: 1 << 16}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var mu sync.Mutex // serializes sink writes across sessions
 	writeRec := func(rec collector.Record) {
 		mu.Lock()
 		defer mu.Unlock()
 		if err := w.Write(rec); err != nil {
 			log.Printf("write: %v", err)
 		}
+		if db != nil {
+			if err := db.Writer().Append(rec); err != nil {
+				log.Printf("store append: %v", err)
+			}
+		}
 	}
+	// closeSinks runs exactly once, no matter how shutdown is reached.
+	var closeOnce sync.Once
+	closeSinks := func() {
+		closeOnce.Do(func() {
+			mu.Lock()
+			defer mu.Unlock()
+			if err := w.Close(); err != nil {
+				log.Printf("close: %v", err)
+			}
+			if db != nil {
+				if err := db.Close(); err != nil {
+					log.Printf("store close: %v", err)
+				}
+			}
+		})
+	}
+
+	// Install the signal handler before the listener exists, so a SIGINT
+	// arriving during startup is never lost and always runs the shutdown
+	// path below.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -65,50 +104,68 @@ func main() {
 	}
 	log.Printf("listening on %s as AS%d/%s, logging to %s", ln.Addr(), *asn, localID, *out)
 
-	done := make(chan struct{})
-	closed := make(chan struct{}, 128)
-	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		n := 0
-		for {
-			select {
-			case <-sig:
-				close(done)
-				ln.Close()
-				return
-			case <-closed:
-				n++
-				if *maxConns > 0 && n >= *maxConns {
-					close(done)
-					ln.Close()
-					return
-				}
+	// Track live connections so stop can sever them: without this, a peer
+	// that never hangs up would stall wg.Wait() after SIGINT and the sinks
+	// would never be closed.
+	var connMu sync.Mutex
+	conns := make(map[net.Conn]bool)
+	stopping := false
+
+	// stop closes the listener and live sessions exactly once; both SIGINT
+	// and the -maxconns budget funnel through it.
+	var stopOnce sync.Once
+	stop := func() {
+		stopOnce.Do(func() {
+			ln.Close()
+			connMu.Lock()
+			stopping = true
+			for c := range conns {
+				c.Close()
 			}
-		}
+			connMu.Unlock()
+		})
+	}
+	go func() {
+		<-sigc
+		stop()
 	}()
 
+	var sessionsClosed atomic.Int64
 	var wg sync.WaitGroup
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			break // listener closed
 		}
+		connMu.Lock()
+		if stopping {
+			connMu.Unlock()
+			conn.Close()
+			continue
+		}
+		conns[conn] = true
+		connMu.Unlock()
 		wg.Add(1)
 		go func(conn net.Conn) {
 			defer wg.Done()
-			defer func() { closed <- struct{}{} }()
+			defer func() {
+				connMu.Lock()
+				delete(conns, conn)
+				connMu.Unlock()
+				if n := sessionsClosed.Add(1); *maxConns > 0 && n >= int64(*maxConns) {
+					stop()
+				}
+			}()
 			serve(conn, bgp.ASN(*asn), localID, *hold, writeRec)
 		}(conn)
 	}
 	wg.Wait()
-	<-done
-	mu.Lock()
-	defer mu.Unlock()
-	if err := w.Close(); err != nil {
-		log.Printf("close: %v", err)
-	}
+	closeSinks()
 	fmt.Printf("logged %d records to %s\n", w.Count(), *out)
+	if db != nil {
+		st := db.Stats()
+		fmt.Printf("store %s: %d records in %d segments\n", *storeDir, st.Records, st.Segments)
+	}
 }
 
 // serve runs one peering session over an accepted connection.

@@ -9,6 +9,11 @@
 //
 //	bgpreplay -in maeeast.irtl.gz -connect 127.0.0.1:1790 -speedup 600
 //	bgpreplay -in maeeast.irtl.gz -connect 127.0.0.1:1790 -peer 690 -as 690
+//	bgpreplay -store db -from 1996-05-01 -to 1996-05-08 -origin 237 -connect 127.0.0.1:1790
+//
+// With -store the input is an irtlstore query instead of a flat log: the
+// store's indexes select the slice (time window, peer, origin, prefix) and
+// only that slice is decompressed and replayed.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"instability/internal/collector"
 	"instability/internal/netaddr"
 	"instability/internal/session"
+	"instability/internal/store"
 )
 
 func main() {
@@ -30,6 +36,11 @@ func main() {
 	log.SetPrefix("bgpreplay: ")
 	var (
 		in        = flag.String("in", "", "input log (native or MRT)")
+		storeDir  = flag.String("store", "", "replay from an irtlstore query instead of a log file")
+		from      = flag.String("from", "", "store query: start time (inclusive)")
+		to        = flag.String("to", "", "store query: end time (exclusive)")
+		origin    = flag.String("origin", "", "store query: comma-separated origin AS list")
+		prefix    = flag.String("prefix", "", "store query: exact prefix (CIDR)")
 		connect   = flag.String("connect", "127.0.0.1:1790", "collector address")
 		asn       = flag.Uint("as", 690, "local AS number")
 		id        = flag.String("id", "198.32.186.1", "local BGP identifier")
@@ -39,15 +50,15 @@ func main() {
 		stateless = flag.Bool("stateless", false, "replay as the stateless vendor: withdrawals are sent even for never-advertised prefixes, reproducing the log's WWDups on the wire")
 	)
 	flag.Parse()
-	if *in == "" {
-		log.Fatal("missing -in")
+	if (*in == "") == (*storeDir == "") {
+		log.Fatal("need exactly one of -in or -store")
 	}
 	localID, err := netaddr.ParseAddr(*id)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	r, _, err := collector.OpenAny(*in)
+	r, src, err := openInput(*in, *storeDir, *from, *to, *origin, *prefix)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +88,7 @@ func main() {
 	case <-time.After(30 * time.Second):
 		log.Fatal("timeout establishing session")
 	}
-	log.Printf("established with %s; replaying %s at %gx", *connect, *in, *speedup)
+	log.Printf("established with %s; replaying %s at %gx", *connect, src, *speedup)
 
 	var sent int
 	var prev time.Time
@@ -123,4 +134,40 @@ func main() {
 	runner.Close()
 	<-done
 	fmt.Printf("replayed %d records\n", sent)
+}
+
+// openInput returns the record source: a flat log (native or MRT) for -in,
+// or an indexed store query for -store. The -peer flag is applied in the
+// replay loop either way, so it is not folded into the store query here;
+// time, origin, and prefix predicates are pushed down to the store.
+func openInput(in, storeDir, from, to, origin, prefix string) (collector.RecordReader, string, error) {
+	if in != "" {
+		r, _, err := collector.OpenAny(in)
+		return r, in, err
+	}
+	q, err := store.ParseQuery(from, to, "", origin, prefix, "")
+	if err != nil {
+		return nil, "", err
+	}
+	s, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		return nil, "", err
+	}
+	r, err := s.Query(q)
+	if err != nil {
+		s.Close()
+		return nil, "", err
+	}
+	return storeInput{r, s}, "store " + storeDir, nil
+}
+
+// storeInput keeps the store open for the life of the query reader.
+type storeInput struct {
+	*store.Reader
+	s *store.Store
+}
+
+func (si storeInput) Close() error {
+	si.Reader.Close()
+	return si.s.Close()
 }

@@ -1,0 +1,200 @@
+// Bgpstore manages an irtlstore: an embedded, time-partitioned BGP update
+// store with indexed queries (see internal/store). It turns flat collector
+// logs into a directory of sealed, indexed segments and answers sliced
+// questions — by time window, peer AS, origin AS, prefix, update type —
+// without rescanning nine months of gzip.
+//
+// Usage:
+//
+//	bgpstore ingest  -store db maeeast.irtl.gz riped.mrt.gz ...
+//	bgpstore query   -store db -from 1996-05-01 -to 1996-05-08 -origin 690 -type W
+//	bgpstore query   -store db -peer 701 -out slice.irtl.gz
+//	bgpstore compact -store db
+//	bgpstore stats   -store db
+//
+// Query prints matching records in bgpdump-style lines (or writes a native
+// log with -out, which bgpanalyze and bgpreplay consume); -scanstats shows
+// how much of the store the index skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"instability/internal/collector"
+	"instability/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bgpstore: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "ingest":
+		cmdIngest(os.Args[2:])
+	case "query":
+		cmdQuery(os.Args[2:])
+	case "compact":
+		cmdCompact(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bgpstore {ingest|query|compact|stats} -store DIR [flags] [files]")
+	os.Exit(2)
+}
+
+func openStore(dir string, window time.Duration, autoSeal int) *store.Store {
+	if dir == "" {
+		log.Fatal("missing -store")
+	}
+	s, err := store.Open(dir, store.Options{Window: window, AutoSealRecords: autoSeal})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+func cmdIngest(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	var (
+		dir      = fs.String("store", "", "store directory")
+		window   = fs.Duration("window", 24*time.Hour, "segment time-partition width")
+		autoSeal = fs.Int("autoseal", 1<<18, "seal automatically after this many buffered records (0 = at end only)")
+	)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		log.Fatal("ingest: no input files")
+	}
+	s := openStore(*dir, *window, *autoSeal)
+	w := s.Writer()
+	total := 0
+	for _, path := range fs.Args() {
+		r, _, err := collector.OpenAny(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := w.AppendAll(r)
+		r.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("%s: %d records\n", path, n)
+		total += n
+	}
+	if err := s.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d records into %s\n", total, *dir)
+}
+
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	var (
+		dir       = fs.String("store", "", "store directory")
+		from      = fs.String("from", "", "start time (inclusive): RFC3339 or YYYY-MM-DD[ HH:MM:SS]")
+		to        = fs.String("to", "", "end time (exclusive)")
+		peers     = fs.String("peer", "", "comma-separated peer AS list")
+		origins   = fs.String("origin", "", "comma-separated origin AS list (announcements only)")
+		prefix    = fs.String("prefix", "", "exact prefix (CIDR)")
+		types     = fs.String("type", "", "comma-separated record types: A,W,UP,DOWN")
+		out       = fs.String("out", "", "write results as a native log instead of printing")
+		exchange  = fs.String("exchange", "store", "exchange name for the -out log header")
+		countOnly = fs.Bool("count", false, "print only the match count")
+		scanStats = fs.Bool("scanstats", false, "print index pushdown statistics to stderr")
+		limit     = fs.Int("n", 0, "stop after this many records (0 = all)")
+	)
+	fs.Parse(args)
+	q, err := store.ParseQuery(*from, *to, *peers, *origins, *prefix, *types)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := openStore(*dir, 0, 0)
+	defer s.Close()
+	r, err := s.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+
+	var lw *collector.Writer
+	if *out != "" {
+		if lw, err = collector.Create(*out, *exchange); err != nil {
+			log.Fatal(err)
+		}
+	}
+	n := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		n++
+		switch {
+		case lw != nil:
+			if err := lw.Write(rec); err != nil {
+				log.Fatal(err)
+			}
+		case !*countOnly:
+			fmt.Println(rec)
+		}
+		if *limit > 0 && n >= *limit {
+			break
+		}
+	}
+	if lw != nil {
+		if err := lw.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d records to %s\n", n, *out)
+	} else if *countOnly {
+		fmt.Println(n)
+	}
+	if *scanStats {
+		st := r.Stats()
+		fmt.Fprintf(os.Stderr, "segments %d/%d scanned, blocks %d/%d decompressed, %d records decoded, %d matched\n",
+			st.SegmentsScanned, st.SegmentsTotal, st.BlocksScanned, st.BlocksTotal,
+			st.RecordsScanned+st.MemRecords, st.RecordsMatched)
+	}
+}
+
+func cmdCompact(args []string) {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	dir := fs.String("store", "", "store directory")
+	fs.Parse(args)
+	s := openStore(*dir, 0, 0)
+	defer s.Close()
+	st, err := s.Compact()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compacted %d segments into %d (%d inputs merged, %d records rewritten)\n",
+		st.SegmentsBefore, st.SegmentsAfter, st.SegmentsMerged, st.RecordsRewritten)
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	dir := fs.String("store", "", "store directory")
+	fs.Parse(args)
+	s := openStore(*dir, 0, 0)
+	defer s.Close()
+	st := s.Stats()
+	fmt.Printf("segments      %d\n", st.Segments)
+	fmt.Printf("blocks        %d\n", st.Blocks)
+	fmt.Printf("records       %d sealed, %d unsealed\n", st.Records, st.MemRecords)
+	fmt.Printf("time windows  %d\n", st.Windows)
+	fmt.Printf("disk          %d bytes segments, %d bytes WAL\n", st.DiskBytes, st.WALBytes)
+}

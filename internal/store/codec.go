@@ -1,0 +1,122 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/collector"
+	"instability/internal/netaddr"
+)
+
+// ErrCorrupt reports a damaged segment or WAL structure.
+var ErrCorrupt = errors.New("store: corrupt data")
+
+// appendRecordTail encodes everything after the timestamp: type, peer,
+// prefix, attributes. Shared by the WAL (absolute time) and block (delta
+// time) codecs.
+func appendRecordTail(b []byte, rec collector.Record) ([]byte, error) {
+	b = append(b, byte(rec.Type))
+	b = binary.AppendUvarint(b, uint64(rec.PeerAS))
+	b = binary.AppendUvarint(b, uint64(rec.PeerAddr))
+	b = append(b, byte(rec.Prefix.Bits()))
+	b = binary.AppendUvarint(b, uint64(rec.Prefix.Addr()))
+	if rec.Type == collector.Announce {
+		attrs, err := bgp.MarshalAttrs(rec.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		b = binary.AppendUvarint(b, uint64(len(attrs)))
+		b = append(b, attrs...)
+	} else {
+		b = binary.AppendUvarint(b, 0)
+	}
+	return b, nil
+}
+
+// decodeRecordTail is the inverse of appendRecordTail; it fills everything
+// but rec.Time and returns the remaining bytes.
+func decodeRecordTail(b []byte, rec *collector.Record) ([]byte, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: record type", ErrCorrupt)
+	}
+	rec.Type = collector.RecType(b[0])
+	b = b[1:]
+	switch rec.Type {
+	case collector.Announce, collector.Withdraw, collector.SessionUp, collector.SessionDown:
+	default:
+		return nil, fmt.Errorf("%w: record type %d", ErrCorrupt, rec.Type)
+	}
+	peerAS, n := binary.Uvarint(b)
+	if n <= 0 || peerAS > 0xffff {
+		return nil, fmt.Errorf("%w: peer AS", ErrCorrupt)
+	}
+	rec.PeerAS = bgp.ASN(peerAS)
+	b = b[n:]
+	peerAddr, n := binary.Uvarint(b)
+	if n <= 0 || peerAddr > 0xffffffff {
+		return nil, fmt.Errorf("%w: peer address", ErrCorrupt)
+	}
+	rec.PeerAddr = netaddr.Addr(peerAddr)
+	b = b[n:]
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: prefix length", ErrCorrupt)
+	}
+	bits := int(b[0])
+	b = b[1:]
+	addr, n := binary.Uvarint(b)
+	if n <= 0 || addr > 0xffffffff {
+		return nil, fmt.Errorf("%w: prefix address", ErrCorrupt)
+	}
+	b = b[n:]
+	p, err := netaddr.PrefixFrom(netaddr.Addr(addr), bits)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	rec.Prefix = p
+	alen, n := binary.Uvarint(b)
+	if n <= 0 || alen > uint64(len(b)-n) {
+		return nil, fmt.Errorf("%w: attribute length", ErrCorrupt)
+	}
+	b = b[n:]
+	if alen > 0 {
+		rec.Attrs, err = bgp.UnmarshalAttrs(b[:alen])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		b = b[alen:]
+	} else {
+		rec.Attrs = bgp.Attrs{}
+	}
+	return b, nil
+}
+
+// appendRecordAbs encodes a record with an absolute nanosecond timestamp
+// (WAL form).
+func appendRecordAbs(b []byte, rec collector.Record) ([]byte, error) {
+	b = binary.BigEndian.AppendUint64(b, uint64(rec.Time.UnixNano()))
+	return appendRecordTail(b, rec)
+}
+
+// decodeRecordAbs is the inverse of appendRecordAbs.
+func decodeRecordAbs(b []byte) (collector.Record, []byte, error) {
+	var rec collector.Record
+	if len(b) < 8 {
+		return rec, nil, fmt.Errorf("%w: record time", ErrCorrupt)
+	}
+	rec.Time = time.Unix(0, int64(binary.BigEndian.Uint64(b))).UTC()
+	rest, err := decodeRecordTail(b[8:], &rec)
+	return rec, rest, err
+}
+
+// originOf extracts the origin AS of an announcement (the last AS of its
+// path). Non-announcements, and announcements with empty or SET-terminated
+// paths, have no origin; ok is false.
+func originOf(rec collector.Record) (bgp.ASN, bool) {
+	if rec.Type != collector.Announce {
+		return 0, false
+	}
+	return rec.Attrs.Path.Origin()
+}

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"container/heap"
+	"os"
+	"sort"
+
+	"instability/internal/collector"
+)
+
+// CompactStats reports what a compaction pass did.
+type CompactStats struct {
+	SegmentsBefore  int
+	SegmentsAfter   int
+	SegmentsMerged  int   // inputs consumed by merges
+	RecordsRewritten int64
+}
+
+// Compact merges the segments of every time window that has more than one
+// (the residue of incremental seals or repeated ingests) into a single
+// segment per window. The merge is crash-safe: the merged segment's footer
+// names the segments it replaces, the new file is renamed into place first,
+// and a crash before the old files are deleted is repaired on the next Open.
+func (s *Store) Compact() (CompactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st CompactStats
+	st.SegmentsBefore = len(s.segs)
+
+	groups := make(map[int64][]*segment)
+	for _, g := range s.segs {
+		groups[g.windowStart] = append(groups[g.windowStart], g)
+	}
+	windows := make([]int64, 0, len(groups))
+	for wd, gs := range groups {
+		if len(gs) > 1 {
+			windows = append(windows, wd)
+		}
+	}
+	sort.Slice(windows, func(i, j int) bool { return windows[i] < windows[j] })
+
+	for _, wd := range windows {
+		gs := groups[wd]
+		merged, err := s.mergeWindowLocked(wd, gs)
+		if err != nil {
+			return st, err
+		}
+		st.SegmentsMerged += len(gs)
+		st.RecordsRewritten += merged.count
+
+		old := make(map[uint64]bool, len(gs))
+		for _, g := range gs {
+			old[g.seq] = true
+		}
+		kept := s.segs[:0]
+		for _, g := range s.segs {
+			if old[g.seq] {
+				os.Remove(g.path)
+				continue
+			}
+			kept = append(kept, g)
+		}
+		s.segs = append(kept, merged)
+		sortSegments(s.segs)
+	}
+	st.SegmentsAfter = len(s.segs)
+	return st, nil
+}
+
+// mergeWindowLocked streams the records of one window's segments in time
+// order into a single replacement segment.
+func (s *Store) mergeWindowLocked(window int64, gs []*segment) (*segment, error) {
+	var streams recHeap
+	closeAll := func() {
+		for _, st := range streams {
+			st.close()
+		}
+	}
+	for _, g := range gs {
+		blocks := make([]int, len(g.index.blocks))
+		for i := range blocks {
+			blocks[i] = i
+		}
+		f, err := os.Open(g.path)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		sc := &segStream{seg: g, f: f, blocks: blocks, order: g.seq}
+		if err := sc.advance(); err != nil {
+			sc.close()
+			closeAll()
+			return nil, err
+		}
+		streams = append(streams, sc)
+	}
+	heap.Init(&streams)
+
+	var out []collector.Record
+	for len(streams) > 0 {
+		st := streams[0]
+		rec, ok := st.head()
+		if !ok {
+			heap.Pop(&streams)
+			st.close()
+			continue
+		}
+		if err := st.advance(); err != nil {
+			closeAll()
+			return nil, err
+		}
+		heap.Fix(&streams, 0)
+		out = append(out, rec)
+	}
+
+	var firstSeq, lastSeq uint64
+	replaces := make([]uint64, 0, len(gs))
+	for i, g := range gs {
+		if i == 0 || g.firstSeq < firstSeq {
+			firstSeq = g.firstSeq
+		}
+		if g.lastSeq > lastSeq {
+			lastSeq = g.lastSeq
+		}
+		replaces = append(replaces, g.seq)
+	}
+	// Seal-assigned sequence ranges within a window are contiguous across
+	// its segments, so the merged range is exactly [firstSeq, lastSeq] and
+	// writeSegment's firstSeq+len-1 arithmetic reproduces lastSeq.
+	merged, err := writeSegment(s.dir, s.nextSeg, window, firstSeq, out, replaces, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	s.nextSeg++
+	return merged, nil
+}

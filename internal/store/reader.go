@@ -1,0 +1,310 @@
+package store
+
+import (
+	"container/heap"
+	"io"
+	"os"
+	"sort"
+
+	"instability/internal/collector"
+)
+
+// ScanStats reports how much work a query actually did, making predicate
+// pushdown measurable: a filtered query over a multi-segment store should
+// show BlocksScanned (decompressed) well below BlocksTotal.
+type ScanStats struct {
+	SegmentsTotal   int // sealed segments in the store at query time
+	SegmentsScanned int // segments not skipped by segment-level pruning
+	BlocksTotal     int // blocks across all segments
+	BlocksScanned   int // blocks actually decompressed
+	RecordsScanned  int // records decoded from those blocks
+	RecordsMatched  int // records that satisfied the full predicate
+	MemRecords      int // unsealed records considered from the memtable
+}
+
+// Reader streams the result of a Query in timestamp order. It implements
+// collector.RecordReader, so query results plug directly into the
+// classifier pipeline and the replay tool.
+type Reader struct {
+	q       Query
+	stats   ScanStats
+	streams recHeap
+	closed  bool
+}
+
+// Query opens a reader over everything currently in the store — sealed
+// segments and the unsealed memtable — that may match q. Results are merged
+// in timestamp order (ties broken by segment age, then log order).
+func (s *Store) Query(q Query) (*Reader, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &Reader{q: q}
+	r.stats.SegmentsTotal = len(s.segs)
+	for _, g := range s.segs {
+		r.stats.BlocksTotal += len(g.index.blocks)
+	}
+
+	for _, g := range s.segs {
+		blocks, scan := g.candidateBlocks(q)
+		if !scan {
+			continue
+		}
+		r.stats.SegmentsScanned++
+		if len(blocks) == 0 {
+			continue
+		}
+		f, err := os.Open(g.path)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		sc := &segStream{r: r, seg: g, f: f, blocks: blocks, order: g.seq}
+		if err := sc.advance(); err != nil {
+			r.Close()
+			return nil, err
+		}
+		if sc.ok {
+			r.streams = append(r.streams, sc)
+		} else {
+			sc.close()
+		}
+	}
+
+	// Snapshot matching memtable records; they sort after sealed segments
+	// on timestamp ties (they are strictly newer appends).
+	var mem []collector.Record
+	for _, mw := range s.mem {
+		for _, rec := range mw.recs {
+			r.stats.MemRecords++
+			if q.match(rec) {
+				mem = append(mem, rec)
+			}
+		}
+	}
+	sort.SliceStable(mem, func(i, j int) bool { return mem[i].Time.Before(mem[j].Time) })
+	if len(mem) > 0 {
+		ms := &memStream{recs: mem, order: ^uint64(0)}
+		ms.advance()
+		r.streams = append(r.streams, ms)
+	}
+	heap.Init(&r.streams)
+	return r, nil
+}
+
+// Next returns the next matching record, io.EOF at the end of the result.
+func (r *Reader) Next() (collector.Record, error) {
+	for len(r.streams) > 0 {
+		st := r.streams[0]
+		rec, ok := st.head()
+		if !ok {
+			heap.Pop(&r.streams)
+			st.close()
+			continue
+		}
+		if err := st.advance(); err != nil {
+			return collector.Record{}, err
+		}
+		heap.Fix(&r.streams, 0)
+		if seg, isSeg := st.(*segStream); isSeg {
+			r.stats.RecordsScanned += seg.scanned
+			r.stats.BlocksScanned += seg.blocksRead
+			seg.scanned, seg.blocksRead = 0, 0
+		}
+		if !r.q.match(rec) {
+			continue
+		}
+		r.stats.RecordsMatched++
+		return rec, nil
+	}
+	return collector.Record{}, io.EOF
+}
+
+// ReadAll drains the reader.
+func (r *Reader) ReadAll() ([]collector.Record, error) {
+	var out []collector.Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Stats returns the scan counters accumulated so far; final after the
+// reader returns io.EOF.
+func (r *Reader) Stats() ScanStats { return r.stats }
+
+// Close releases the reader's open segment files.
+func (r *Reader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	for _, st := range r.streams {
+		st.close()
+	}
+	r.streams = nil
+	return nil
+}
+
+// candidateBlocks applies segment- and block-level pruning. scan=false means
+// the whole segment is skipped without touching its file.
+func (g *segment) candidateBlocks(q Query) (blocks []int, scan bool) {
+	if !q.timeOverlaps(g.minTime, g.maxTime) {
+		return nil, false
+	}
+	if q.hasPrefix() && !g.index.filter.contains(prefixKey(q.Prefix)) {
+		return nil, false
+	}
+	var peerSet, originSet map[int32]bool
+	if len(q.PeerAS) > 0 {
+		if peerSet = g.index.peers.blockSet(q.PeerAS); peerSet == nil {
+			return nil, false
+		}
+	}
+	if len(q.OriginAS) > 0 {
+		if originSet = g.index.origins.blockSet(q.OriginAS); originSet == nil {
+			return nil, false
+		}
+		// An origin predicate can only be satisfied by announcements; if
+		// the type filter excludes them the query is empty, handled by the
+		// record-level match (blocks still pruned by postings here).
+	}
+	for i, bm := range g.index.blocks {
+		if !q.timeOverlaps(bm.minTime, bm.maxTime) {
+			continue
+		}
+		if peerSet != nil && !peerSet[int32(i)] {
+			continue
+		}
+		if originSet != nil && !originSet[int32(i)] {
+			continue
+		}
+		blocks = append(blocks, i)
+	}
+	return blocks, true
+}
+
+// stream is one sorted source feeding the merge heap.
+type stream interface {
+	head() (collector.Record, bool)
+	// advance moves to the next record (the head at call time is consumed).
+	advance() error
+	// less orders streams by current head; ties broken by stream order.
+	key() (t int64, order uint64)
+	close()
+}
+
+// segStream iterates the candidate blocks of one segment.
+type segStream struct {
+	r      *Reader
+	seg    *segment
+	f      *os.File
+	blocks []int
+	bi     int
+	recs   []collector.Record
+	ri     int
+	cur    collector.Record
+	ok     bool
+	order  uint64
+
+	scanned    int // records decoded since last drain into Reader.stats
+	blocksRead int
+}
+
+func (sc *segStream) head() (collector.Record, bool) { return sc.cur, sc.ok }
+
+func (sc *segStream) advance() error {
+	for {
+		if sc.ri < len(sc.recs) {
+			sc.cur = sc.recs[sc.ri]
+			sc.ri++
+			sc.ok = true
+			return nil
+		}
+		if sc.bi >= len(sc.blocks) {
+			sc.ok = false
+			return nil
+		}
+		recs, err := sc.seg.readBlock(sc.f, sc.blocks[sc.bi])
+		if err != nil {
+			sc.ok = false
+			return err
+		}
+		sc.bi++
+		sc.blocksRead++
+		sc.scanned += len(recs)
+		sc.recs, sc.ri = recs, 0
+	}
+}
+
+func (sc *segStream) key() (int64, uint64) { return sc.cur.Time.UnixNano(), sc.order }
+
+func (sc *segStream) close() {
+	if sc.f != nil {
+		sc.f.Close()
+		sc.f = nil
+	}
+}
+
+// memStream iterates the memtable snapshot.
+type memStream struct {
+	recs  []collector.Record
+	pos   int
+	cur   collector.Record
+	ok    bool
+	order uint64
+}
+
+func (ms *memStream) head() (collector.Record, bool) { return ms.cur, ms.ok }
+
+func (ms *memStream) advance() error {
+	if ms.pos < len(ms.recs) {
+		ms.cur = ms.recs[ms.pos]
+		ms.pos++
+		ms.ok = true
+	} else {
+		ms.ok = false
+	}
+	return nil
+}
+
+func (ms *memStream) key() (int64, uint64) { return ms.cur.Time.UnixNano(), ms.order }
+
+func (ms *memStream) close() {}
+
+// recHeap is a min-heap of streams ordered by (head time, stream order).
+type recHeap []stream
+
+func (h recHeap) Len() int { return len(h) }
+
+func (h recHeap) Less(i, j int) bool {
+	ti, oi := h[i].key()
+	tj, oj := h[j].key()
+	// Exhausted streams sort last so Next can retire them.
+	_, iok := h[i].head()
+	_, jok := h[j].head()
+	if iok != jok {
+		return iok
+	}
+	if ti != tj {
+		return ti < tj
+	}
+	return oi < oj
+}
+
+func (h recHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *recHeap) Push(x any) { *h = append(*h, x.(stream)) }
+
+func (h *recHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

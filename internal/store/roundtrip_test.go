@@ -1,0 +1,210 @@
+package store
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/collector"
+	"instability/internal/workload"
+)
+
+// synthesize runs the workload generator for a few days and returns the
+// observed stream — the same campaign machinery the paper's tools consume.
+func synthesize(t *testing.T, days int) []collector.Record {
+	t.Helper()
+	cfg := workload.SmallConfig()
+	cfg.Days = days
+	g, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []collector.Record
+	g.Run(func(r collector.Record) { recs = append(recs, r) }, nil)
+	if len(recs) == 0 {
+		t.Fatal("generator produced no records")
+	}
+	return recs
+}
+
+// ingest appends every record from r into a fresh store and seals it.
+func ingest(t *testing.T, dir string, r collector.RecordReader, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Writer().AppendAll(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Writer().Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRoundTripCollectorLog is the end-to-end property: a synthetic
+// workload written through collector.Writer, read back, ingested into the
+// store, and queried with no predicates must come back record for record.
+func TestRoundTripCollectorLog(t *testing.T) {
+	recs := synthesize(t, 3)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "campaign.irtl.gz")
+
+	lw, err := collector.Create(logPath, "Mae-East")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := collector.WriteAll(lw, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lr, err := collector.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileRecs, err := collector.ReadAll(lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr.Close()
+
+	lr2, err := collector.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ingest(t, filepath.Join(dir, "store"), lr2, Options{})
+	lr2.Close()
+	defer s.Close()
+
+	got, _ := queryAll(t, s, Query{})
+	assertSameRecords(t, got, fileRecs)
+
+	// The store must hold the stream with day-partitioned segments.
+	if st := s.Stats(); st.Windows < 3 || st.Segments < 3 {
+		t.Fatalf("expected >=3 daily windows, got %+v", st)
+	}
+}
+
+// TestRoundTripMRT covers the MRT-sourced path: records written as RFC 6396
+// BGP4MP entries (second-resolution timestamps), read back, ingested, and
+// queried must equal the MRT-decoded stream exactly.
+func TestRoundTripMRT(t *testing.T) {
+	recs := synthesize(t, 2)
+	dir := t.TempDir()
+	mrtPath := filepath.Join(dir, "campaign.mrt.gz")
+
+	mw, err := collector.CreateMRT(mrtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := mw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mr, err := collector.OpenMRT(mrtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mrtRecs []collector.Record
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		mrtRecs = append(mrtRecs, rec)
+	}
+	mr.Close()
+	if len(mrtRecs) != len(recs) {
+		t.Fatalf("MRT round trip lost records: %d of %d", len(mrtRecs), len(recs))
+	}
+
+	mr2, err := collector.OpenMRT(mrtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ingest(t, filepath.Join(dir, "store"), mr2, Options{})
+	mr2.Close()
+	defer s.Close()
+
+	got, _ := queryAll(t, s, Query{})
+	assertSameRecords(t, got, mrtRecs)
+}
+
+// TestRoundTripDerivedQueries is the property-test half: for predicates
+// derived from the stream itself, the store's answer must equal an
+// in-memory filter of the reference stream — same records, same order.
+func TestRoundTripDerivedQueries(t *testing.T) {
+	recs := synthesize(t, 2)
+	s := ingest(t, t.TempDir(), sliceReader(recs), Options{})
+	defer s.Close()
+
+	day0 := recs[0].Time.Truncate(24 * time.Hour)
+	var someOrigin bgp.ASN
+	for _, rec := range recs {
+		if o, ok := originOf(rec); ok {
+			someOrigin = o
+			break
+		}
+	}
+	queries := []Query{
+		{From: day0.Add(6 * time.Hour), To: day0.Add(30 * time.Hour)},
+		{PeerAS: []bgp.ASN{recs[0].PeerAS}},
+		{OriginAS: []bgp.ASN{someOrigin}},
+		{Prefix: recs[len(recs)/2].Prefix},
+		{Types: []collector.RecType{collector.Withdraw}, From: day0.Add(12 * time.Hour)},
+		{PeerAS: []bgp.ASN{recs[0].PeerAS}, OriginAS: []bgp.ASN{someOrigin},
+			Types: []collector.RecType{collector.Announce}},
+	}
+	for qi, q := range queries {
+		var want []collector.Record
+		for _, rec := range recs {
+			if q.match(rec) {
+				want = append(want, rec)
+			}
+		}
+		got, _ := queryAll(t, s, q)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d records, want %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if !recordsEqual(got[i], want[i]) {
+				t.Fatalf("query %d record %d mismatch", qi, i)
+			}
+		}
+	}
+}
+
+// sliceReader adapts a record slice to collector.RecordReader.
+type sliceRecordReader struct {
+	recs []collector.Record
+	pos  int
+}
+
+func sliceReader(recs []collector.Record) *sliceRecordReader {
+	return &sliceRecordReader{recs: recs}
+}
+
+func (r *sliceRecordReader) Next() (collector.Record, error) {
+	if r.pos >= len(r.recs) {
+		return collector.Record{}, io.EOF
+	}
+	rec := r.recs[r.pos]
+	r.pos++
+	return rec, nil
+}
+
+func (r *sliceRecordReader) Close() error { return nil }

@@ -1,0 +1,296 @@
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"instability/internal/collector"
+)
+
+// Segment file naming and framing.
+const (
+	segPrefix  = "seg-"
+	segSuffix  = ".irts"
+	segMagic   = "IRTS"
+	segVersion = 1
+	segHdrLen  = 5 // magic + version
+	// segTailLen is the fixed trailer: u32 footer length + magic + version.
+	segTailLen = 4 + 4 + 1
+)
+
+// segment is an open handle on one sealed immutable segment: its footer and
+// index stay in memory, record blocks stay on disk until a query needs them.
+type segment struct {
+	path string
+	seq  uint64 // segment file number
+	size int64
+
+	windowStart int64 // time partition this segment belongs to (unixnano)
+	minTime     int64 // first record timestamp
+	maxTime     int64 // last record timestamp
+	firstSeq    uint64
+	lastSeq     uint64
+	count       int64
+	replaces    []uint64 // segment seqs this compacted segment supersedes
+
+	index *segIndex
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
+
+// writeSegment seals recs (already sorted by time) into a new segment file
+// in dir. The write is crash-safe: the file is assembled under a .tmp name
+// and renamed into place.
+func writeSegment(dir string, seq uint64, windowStart int64, firstSeq uint64, recs []collector.Record, replaces []uint64, opts Options) (*segment, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("store: sealing empty segment")
+	}
+	ix := &segIndex{
+		peers:   make(postings),
+		origins: make(postings),
+		filter:  newBloom(len(recs), opts.BloomBitsPerKey),
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(segMagic)
+	buf.WriteByte(segVersion)
+
+	var raw, cbuf bytes.Buffer
+	for start := 0; start < len(recs); start += opts.BlockRecords {
+		end := start + opts.BlockRecords
+		if end > len(recs) {
+			end = len(recs)
+		}
+		block := recs[start:end]
+		blockID := int32(len(ix.blocks))
+
+		raw.Reset()
+		prev := block[0].Time.UnixNano()
+		scratch := make([]byte, 0, 64)
+		for _, rec := range block {
+			t := rec.Time.UnixNano()
+			if t < prev {
+				return nil, fmt.Errorf("store: records not time-sorted at seal")
+			}
+			scratch = binary.AppendUvarint(scratch[:0], uint64(t-prev))
+			prev = t
+			var err error
+			scratch, err = appendRecordTail(scratch, rec)
+			if err != nil {
+				return nil, err
+			}
+			raw.Write(scratch)
+
+			ix.peers.add(rec.PeerAS, blockID)
+			if origin, ok := originOf(rec); ok {
+				ix.origins.add(origin, blockID)
+			}
+			ix.filter.add(prefixKey(rec.Prefix))
+		}
+
+		cbuf.Reset()
+		fw, err := flate.NewWriter(&cbuf, flate.DefaultCompression)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fw.Write(raw.Bytes()); err != nil {
+			return nil, err
+		}
+		if err := fw.Close(); err != nil {
+			return nil, err
+		}
+
+		ix.blocks = append(ix.blocks, blockMeta{
+			offset:  int64(buf.Len()),
+			clen:    int32(cbuf.Len()),
+			ulen:    int32(raw.Len()),
+			count:   int32(len(block)),
+			minTime: block[0].Time.UnixNano(),
+			maxTime: block[len(block)-1].Time.UnixNano(),
+		})
+		buf.Write(cbuf.Bytes())
+	}
+
+	indexOff := int64(buf.Len())
+	buf.Write(ix.encode(nil))
+
+	// Footer body, then the fixed trailer.
+	footer := make([]byte, 0, 64)
+	footer = binary.BigEndian.AppendUint64(footer, uint64(indexOff))
+	footer = binary.BigEndian.AppendUint64(footer, uint64(windowStart))
+	footer = binary.BigEndian.AppendUint64(footer, uint64(recs[0].Time.UnixNano()))
+	footer = binary.BigEndian.AppendUint64(footer, uint64(recs[len(recs)-1].Time.UnixNano()))
+	footer = binary.BigEndian.AppendUint64(footer, firstSeq)
+	footer = binary.BigEndian.AppendUint64(footer, firstSeq+uint64(len(recs))-1)
+	footer = binary.BigEndian.AppendUint64(footer, uint64(len(recs)))
+	footer = binary.BigEndian.AppendUint16(footer, uint16(len(replaces)))
+	for _, r := range replaces {
+		footer = binary.BigEndian.AppendUint64(footer, r)
+	}
+	buf.Write(footer)
+	tail := make([]byte, 0, segTailLen)
+	tail = binary.BigEndian.AppendUint32(tail, uint32(len(footer)))
+	tail = append(tail, segMagic...)
+	tail = append(tail, segVersion)
+	buf.Write(tail)
+
+	path := filepath.Join(dir, segName(seq))
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if opts.Sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return nil, err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	return &segment{
+		path:        path,
+		seq:         seq,
+		size:        int64(buf.Len()),
+		windowStart: windowStart,
+		minTime:     recs[0].Time.UnixNano(),
+		maxTime:     recs[len(recs)-1].Time.UnixNano(),
+		firstSeq:    firstSeq,
+		lastSeq:     firstSeq + uint64(len(recs)) - 1,
+		count:       int64(len(recs)),
+		replaces:    replaces,
+		index:       ix,
+	}, nil
+}
+
+// openSegment reads a segment's footer and index into memory.
+func openSegment(path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < segHdrLen+segTailLen {
+		return nil, fmt.Errorf("%w: segment too short", ErrCorrupt)
+	}
+	var hdr [segHdrLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if string(hdr[:4]) != segMagic || hdr[4] != segVersion {
+		return nil, fmt.Errorf("%w: bad segment header", ErrCorrupt)
+	}
+	var tail [segTailLen]byte
+	if _, err := f.ReadAt(tail[:], size-segTailLen); err != nil {
+		return nil, err
+	}
+	if string(tail[4:8]) != segMagic || tail[8] != segVersion {
+		return nil, fmt.Errorf("%w: bad segment trailer", ErrCorrupt)
+	}
+	flen := int64(binary.BigEndian.Uint32(tail[:4]))
+	if flen < 58 || flen > size-segHdrLen-segTailLen {
+		return nil, fmt.Errorf("%w: bad footer length", ErrCorrupt)
+	}
+	footer := make([]byte, flen)
+	if _, err := f.ReadAt(footer, size-segTailLen-flen); err != nil {
+		return nil, err
+	}
+	g := &segment{path: path, size: size}
+	indexOff := int64(binary.BigEndian.Uint64(footer))
+	g.windowStart = int64(binary.BigEndian.Uint64(footer[8:]))
+	g.minTime = int64(binary.BigEndian.Uint64(footer[16:]))
+	g.maxTime = int64(binary.BigEndian.Uint64(footer[24:]))
+	g.firstSeq = binary.BigEndian.Uint64(footer[32:])
+	g.lastSeq = binary.BigEndian.Uint64(footer[40:])
+	g.count = int64(binary.BigEndian.Uint64(footer[48:]))
+	nRepl := int(binary.BigEndian.Uint16(footer[56:]))
+	if int64(58+8*nRepl) != flen {
+		return nil, fmt.Errorf("%w: footer replaces list", ErrCorrupt)
+	}
+	for i := 0; i < nRepl; i++ {
+		g.replaces = append(g.replaces, binary.BigEndian.Uint64(footer[58+8*i:]))
+	}
+	if indexOff < segHdrLen || indexOff > size-segTailLen-flen {
+		return nil, fmt.Errorf("%w: index offset", ErrCorrupt)
+	}
+	ixBytes := make([]byte, size-segTailLen-flen-indexOff)
+	if _, err := f.ReadAt(ixBytes, indexOff); err != nil {
+		return nil, err
+	}
+	if g.index, err = decodeIndex(ixBytes); err != nil {
+		return nil, err
+	}
+
+	// The file number is authoritative from the name, so compaction's
+	// replaces list can be matched against directory contents.
+	var seq uint64
+	if _, err := fmt.Sscanf(filepath.Base(path), segPrefix+"%d"+segSuffix, &seq); err != nil {
+		return nil, fmt.Errorf("%w: segment name %q", ErrCorrupt, filepath.Base(path))
+	}
+	g.seq = seq
+	return g, nil
+}
+
+// readBlock decompresses and decodes block bi of the segment from f.
+func (g *segment) readBlock(f *os.File, bi int) ([]collector.Record, error) {
+	bm := g.index.blocks[bi]
+	cb := make([]byte, bm.clen)
+	if _, err := f.ReadAt(cb, bm.offset); err != nil {
+		return nil, err
+	}
+	fr := flate.NewReader(bytes.NewReader(cb))
+	raw := make([]byte, 0, bm.ulen)
+	rbuf := bytes.NewBuffer(raw)
+	if _, err := io.Copy(rbuf, fr); err != nil {
+		return nil, fmt.Errorf("%w: block %d: %v", ErrCorrupt, bi, err)
+	}
+	if err := fr.Close(); err != nil {
+		return nil, err
+	}
+	b := rbuf.Bytes()
+	recs := make([]collector.Record, 0, bm.count)
+	prev := bm.minTime
+	for i := int32(0); i < bm.count; i++ {
+		dt, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: block %d record %d time", ErrCorrupt, bi, i)
+		}
+		b = b[n:]
+		prev += int64(dt)
+		var rec collector.Record
+		rec.Time = time.Unix(0, prev).UTC()
+		var err error
+		b, err = decodeRecordTail(b, &rec)
+		if err != nil {
+			return nil, fmt.Errorf("%w: block %d record %d: %v", ErrCorrupt, bi, i, err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: block %d trailing bytes", ErrCorrupt, bi)
+	}
+	return recs, nil
+}

@@ -1,0 +1,297 @@
+// Package store implements irtlstore, an embedded time-partitioned BGP
+// update store. It gives the analysis tools random access into what would
+// otherwise be a nine-month flat log: updates are ingested through a
+// WAL-backed writer, partitioned into immutable sealed segments (one or more
+// per configurable time window), and queried back through an indexed reader
+// that pushes predicates down to the segment and block level so most of the
+// store is never decompressed.
+//
+// # On-disk layout
+//
+// A store is a directory:
+//
+//	wal.log          append-only write-ahead log of unsealed records
+//	seg-<seq>.irts   sealed immutable segments
+//
+// Each WAL entry is length-prefixed and CRC-checked, so a torn tail from a
+// crash is detected and discarded. Entries carry a per-window sequence
+// number; a sealed segment records the [FirstSeq, LastSeq] range of its
+// window that it covers, which makes crash recovery exact: on open, WAL
+// entries whose sequence number is already covered by a sealed segment are
+// skipped (no duplicates), and the rest are replayed into the memtable (no
+// losses).
+//
+// A segment file holds delta-encoded, flate-compressed blocks of records
+// sorted by timestamp, followed by an index section and a fixed footer:
+//
+//	"IRTS" version            header
+//	block*                    compressed record blocks
+//	index                     per-block metadata (offset, times, count),
+//	                          posting lists (peer AS -> blocks,
+//	                          origin AS -> blocks), prefix bloom filter
+//	footer                    index offset, window, time range, seq range,
+//	                          replaced-segment list, record count
+//
+// # Queries
+//
+// A Query carries time range, peer AS, origin AS, prefix, and record type
+// predicates. The reader skips whole segments by time range, posting lists,
+// and the prefix bloom filter, then skips individual blocks the same way;
+// only surviving blocks are decompressed. ScanStats reports exactly how much
+// work was avoided, so pushdown wins are measurable rather than asserted.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"instability/internal/collector"
+)
+
+// Options tunes a store. The zero value is usable; fields are defaulted by
+// withDefaults.
+type Options struct {
+	// Window is the time-partition width; records are grouped into windows
+	// of this duration (aligned to Unix epoch) and sealed one segment per
+	// window per seal. Default 24h.
+	Window time.Duration
+	// BlockRecords caps the number of records per compressed block.
+	// Default 512.
+	BlockRecords int
+	// FlushEvery is the number of appended records the writer batches in
+	// memory before writing them to the WAL in one group commit. Default
+	// 256. Flush and Seal always drain the batch regardless.
+	FlushEvery int
+	// AutoSealRecords seals the memtable automatically once it holds this
+	// many records, bounding memory during bulk ingest. 0 disables
+	// auto-sealing (Seal/Close only).
+	AutoSealRecords int
+	// Sync fsyncs WAL group commits and sealed segments. Off by default:
+	// the tests and tools that batter the store do not need metal-level
+	// durability, and the crash-recovery contract (no duplicates, no loss
+	// of synced data) is unaffected.
+	Sync bool
+	// BloomBitsPerKey sizes the per-segment prefix bloom filter. Default 10
+	// (~1% false positives).
+	BloomBitsPerKey int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 24 * time.Hour
+	}
+	if o.BlockRecords <= 0 {
+		o.BlockRecords = 512
+	}
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = 256
+	}
+	if o.BloomBitsPerKey <= 0 {
+		o.BloomBitsPerKey = 10
+	}
+	return o
+}
+
+// Store is an open irtlstore directory. All methods are safe for concurrent
+// use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	segs    []*segment // sorted by (windowStart, seq)
+	nextSeg uint64     // next segment file number
+	wal     *wal
+	mem     map[int64]*memWindow // windowStart (unixnano) -> unsealed records
+	memN    int
+	closed  bool
+
+	writer Writer
+}
+
+// memWindow is the unsealed tail of one time window.
+type memWindow struct {
+	firstSeq uint64 // sequence number of recs[0] within this window
+	recs     []collector.Record
+}
+
+// Open opens (creating if necessary) the store directory at dir and recovers
+// any unsealed records from its WAL.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts, mem: make(map[int64]*memWindow)}
+	s.writer = Writer{s: s}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name)) // half-written seal or compact
+			continue
+		}
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		seg, err := openSegment(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("store: segment %s: %w", name, err)
+		}
+		s.segs = append(s.segs, seg)
+	}
+	s.dropReplaced()
+	sortSegments(s.segs)
+	for _, g := range s.segs {
+		if g.seq >= s.nextSeg {
+			s.nextSeg = g.seq + 1
+		}
+	}
+
+	// Replay the WAL: entries already covered by a sealed segment of their
+	// window are duplicates from a crash between seal and truncate; skip
+	// them. The rest become the recovered memtable.
+	sealed := s.sealedSeqs()
+	w, entries2, err := openWAL(filepath.Join(dir, walName))
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+	for _, ent := range entries2 {
+		if ent.seq <= sealed[ent.window] {
+			continue
+		}
+		mw := s.mem[ent.window]
+		if mw == nil {
+			mw = &memWindow{firstSeq: ent.seq}
+			s.mem[ent.window] = mw
+		}
+		if got := mw.firstSeq + uint64(len(mw.recs)); ent.seq != got {
+			return nil, fmt.Errorf("store: WAL sequence gap in window %d: have %d, want %d", ent.window, ent.seq, got)
+		}
+		mw.recs = append(mw.recs, ent.rec)
+		s.memN++
+	}
+	return s, nil
+}
+
+// sealedSeqs returns, per window, the highest sequence number covered by a
+// sealed segment.
+func (s *Store) sealedSeqs() map[int64]uint64 {
+	m := make(map[int64]uint64)
+	for _, g := range s.segs {
+		if g.lastSeq > m[g.windowStart] {
+			m[g.windowStart] = g.lastSeq
+		}
+	}
+	return m
+}
+
+// dropReplaced removes segments that a surviving compacted segment claims to
+// replace (a crash between compaction's rename and its deletes leaves both
+// on disk).
+func (s *Store) dropReplaced() {
+	replaced := make(map[uint64]bool)
+	for _, g := range s.segs {
+		for _, seq := range g.replaces {
+			replaced[seq] = true
+		}
+	}
+	if len(replaced) == 0 {
+		return
+	}
+	kept := s.segs[:0]
+	for _, g := range s.segs {
+		if replaced[g.seq] {
+			os.Remove(g.path)
+			continue
+		}
+		kept = append(kept, g)
+	}
+	s.segs = kept
+}
+
+func sortSegments(segs []*segment) {
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].windowStart != segs[j].windowStart {
+			return segs[i].windowStart < segs[j].windowStart
+		}
+		return segs[i].seq < segs[j].seq
+	})
+}
+
+// Writer returns the ingest half of the store.
+func (s *Store) Writer() *Writer { return &s.writer }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// windowStart aligns t down to the store's partition width.
+func (s *Store) windowStart(t time.Time) int64 {
+	w := int64(s.opts.Window)
+	n := t.UnixNano()
+	r := n % w
+	if r < 0 {
+		r += w
+	}
+	return n - r
+}
+
+// Stats describes the current shape of the store.
+type Stats struct {
+	Segments   int   // sealed segment files
+	Blocks     int   // compressed blocks across all segments
+	Records    int64 // records in sealed segments
+	MemRecords int   // unsealed records (memtable / WAL)
+	Windows    int   // distinct time windows with any data
+	DiskBytes  int64 // total size of segment files
+	WALBytes   int64 // current WAL size
+}
+
+// Stats reports store-level statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st Stats
+	windows := make(map[int64]bool)
+	st.Segments = len(s.segs)
+	for _, g := range s.segs {
+		st.Blocks += len(g.index.blocks)
+		st.Records += int64(g.count)
+		st.DiskBytes += g.size
+		windows[g.windowStart] = true
+	}
+	for w, mw := range s.mem {
+		if len(mw.recs) > 0 {
+			windows[w] = true
+		}
+	}
+	st.MemRecords = s.memN
+	st.Windows = len(windows)
+	st.WALBytes = s.wal.size()
+	return st
+}
+
+// Close seals any unsealed records and releases the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.sealLocked()
+	if cerr := s.wal.close(); err == nil {
+		err = cerr
+	}
+	s.closed = true
+	return err
+}

@@ -1,0 +1,148 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"instability/internal/collector"
+)
+
+const walName = "wal.log"
+
+// walEntry is one logged append: the record plus its (window, sequence)
+// position, which is what makes recovery dedupe exact.
+type walEntry struct {
+	window int64 // window start, unixnano
+	seq    uint64
+	rec    collector.Record
+}
+
+// wal is the append-only write-ahead log. Entries are framed as
+//
+//	u32 payloadLen | payload | u32 crc32(payload)
+//
+// so a torn tail (crash mid-write) is detected by length or checksum and
+// discarded on open.
+type wal struct {
+	f   *os.File
+	off int64 // current append offset
+}
+
+// openWAL opens (creating if absent) the WAL at path and replays its intact
+// entries. A torn or corrupt tail is truncated away; everything before it is
+// returned.
+func openWAL(path string) (*wal, []walEntry, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	var entries []walEntry
+	off := int64(0)
+	b := data
+	for len(b) >= 4 {
+		plen := int(binary.BigEndian.Uint32(b))
+		if plen <= 0 || len(b) < 4+plen+4 {
+			break // torn tail
+		}
+		payload := b[4 : 4+plen]
+		crc := binary.BigEndian.Uint32(b[4+plen:])
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // corrupt tail
+		}
+		ent, err := decodeWALPayload(payload)
+		if err != nil {
+			break
+		}
+		entries = append(entries, ent)
+		step := int64(4 + plen + 4)
+		off += step
+		b = b[step:]
+	}
+	// Drop whatever followed the last intact entry so appends resume from a
+	// clean frame boundary.
+	if off < int64(len(data)) {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &wal{f: f, off: off}, entries, nil
+}
+
+// append writes pre-encoded frames in one write (group commit).
+func (w *wal) append(frames []byte, sync bool) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(frames); err != nil {
+		return err
+	}
+	w.off += int64(len(frames))
+	if sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// reset truncates the WAL after a successful full seal.
+func (w *wal) reset(sync bool) error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.off = 0
+	if sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *wal) size() int64 { return w.off }
+
+func (w *wal) close() error { return w.f.Close() }
+
+// appendWALFrame encodes one entry as a framed payload onto b.
+func appendWALFrame(b []byte, window int64, seq uint64, rec collector.Record) ([]byte, error) {
+	payload := make([]byte, 0, 64)
+	payload = binary.BigEndian.AppendUint64(payload, uint64(window))
+	payload = binary.BigEndian.AppendUint64(payload, seq)
+	payload, err := appendRecordAbs(payload, rec)
+	if err != nil {
+		return nil, err
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	return binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(payload)), nil
+}
+
+func decodeWALPayload(p []byte) (walEntry, error) {
+	var ent walEntry
+	if len(p) < 16 {
+		return ent, fmt.Errorf("%w: WAL payload", ErrCorrupt)
+	}
+	ent.window = int64(binary.BigEndian.Uint64(p))
+	ent.seq = binary.BigEndian.Uint64(p[8:])
+	rec, rest, err := decodeRecordAbs(p[16:])
+	if err != nil {
+		return ent, err
+	}
+	if len(rest) != 0 {
+		return ent, fmt.Errorf("%w: trailing bytes in WAL payload", ErrCorrupt)
+	}
+	ent.rec = rec
+	return ent, nil
+}

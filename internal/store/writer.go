@@ -1,0 +1,161 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"instability/internal/collector"
+)
+
+// Writer is the ingest half of a Store: appends are WAL-logged and batched
+// in a per-window memtable until a seal turns them into immutable segments.
+// Writer is safe for concurrent use; concurrent appends share group commits.
+type Writer struct {
+	s *Store
+
+	pending  []byte // encoded WAL frames awaiting a group commit
+	pendingN int
+	appended int64
+}
+
+// Append logs one record. The record becomes visible to queries immediately
+// and durable at the next Flush (or automatically every FlushEvery appends).
+func (w *Writer) Append(rec collector.Record) error {
+	s := w.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: writer used after Close")
+	}
+	window := s.windowStart(rec.Time)
+	mw := s.mem[window]
+	if mw == nil {
+		mw = &memWindow{firstSeq: s.nextWindowSeqLocked(window)}
+		s.mem[window] = mw
+	}
+	seq := mw.firstSeq + uint64(len(mw.recs))
+	frames, err := appendWALFrame(w.pending, window, seq, rec)
+	if err != nil {
+		return err
+	}
+	w.pending = frames
+	w.pendingN++
+	mw.recs = append(mw.recs, rec)
+	s.memN++
+	w.appended++
+	if w.pendingN >= s.opts.FlushEvery {
+		if err := w.flushLocked(); err != nil {
+			return err
+		}
+	}
+	if s.opts.AutoSealRecords > 0 && s.memN >= s.opts.AutoSealRecords {
+		return s.sealLocked()
+	}
+	return nil
+}
+
+// AppendAll appends every record from a stream (e.g. a collector log being
+// ingested) and returns the number appended.
+func (w *Writer) AppendAll(r collector.RecordReader) (int, error) {
+	n := 0
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			if err == io.EOF {
+				return n, nil
+			}
+			return n, err
+		}
+		if err := w.Append(rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// nextWindowSeqLocked returns the first free sequence number of a window the
+// memtable has no entry for: one past whatever is already sealed.
+func (s *Store) nextWindowSeqLocked(window int64) uint64 {
+	var max uint64
+	for _, g := range s.segs {
+		if g.windowStart == window && g.lastSeq > max {
+			max = g.lastSeq
+		}
+	}
+	return max + 1
+}
+
+// Flush group-commits any buffered appends to the WAL.
+func (w *Writer) Flush() error {
+	s := w.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return w.flushLocked()
+}
+
+func (w *Writer) flushLocked() error {
+	s := w.s
+	if err := s.wal.append(w.pending, s.opts.Sync); err != nil {
+		return err
+	}
+	w.pending = w.pending[:0]
+	w.pendingN = 0
+	return nil
+}
+
+// Seal flushes the WAL and turns the entire memtable into sealed segments,
+// one per nonempty time window, then truncates the WAL. After a seal the
+// data no longer depends on the WAL at all.
+func (w *Writer) Seal() error {
+	s := w.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealLocked()
+}
+
+func (s *Store) sealLocked() error {
+	if err := s.writer.flushLocked(); err != nil {
+		return err
+	}
+	if s.memN == 0 {
+		return nil
+	}
+	windows := make([]int64, 0, len(s.mem))
+	for wd, mw := range s.mem {
+		if len(mw.recs) > 0 {
+			windows = append(windows, wd)
+		}
+	}
+	sort.Slice(windows, func(i, j int) bool { return windows[i] < windows[j] })
+	for _, wd := range windows {
+		mw := s.mem[wd]
+		sort.SliceStable(mw.recs, func(i, j int) bool { return mw.recs[i].Time.Before(mw.recs[j].Time) })
+		seg, err := writeSegment(s.dir, s.nextSeg, wd, mw.firstSeq, mw.recs, nil, s.opts)
+		if err != nil {
+			return err
+		}
+		s.nextSeg++
+		s.segs = append(s.segs, seg)
+		s.memN -= len(mw.recs)
+		delete(s.mem, wd)
+	}
+	sortSegments(s.segs)
+	// Every WAL entry is now covered by a sealed segment; a crash before
+	// this truncate is handled by sequence-range dedupe on reopen.
+	return s.wal.reset(s.opts.Sync)
+}
+
+// Count returns the number of records appended through this writer.
+func (w *Writer) Count() int64 {
+	w.s.mu.Lock()
+	defer w.s.mu.Unlock()
+	return w.appended
+}
+
+// windowOf is a small helper for callers that want to know which partition a
+// timestamp lands in (used by stats displays).
+func (s *Store) WindowOf(t time.Time) time.Time {
+	return time.Unix(0, s.windowStart(t)).UTC()
+}
