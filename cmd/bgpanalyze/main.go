@@ -23,6 +23,7 @@ import (
 	"instability"
 	"instability/internal/collector"
 	"instability/internal/core"
+	"instability/internal/obs"
 	"instability/internal/report"
 	"instability/internal/store"
 )
@@ -38,12 +39,21 @@ func main() {
 		peers    = flag.String("peer", "", "store query: comma-separated peer AS list")
 		origins  = flag.String("origin", "", "store query: comma-separated origin AS list")
 		prefix   = flag.String("prefix", "", "store query: exact prefix (CIDR)")
-		id       = flag.String("id", "summary", "what to print: summary, table1, fig2..fig10, all")
-		day      = flag.String("day", "", "day for table1 (YYYY-MM-DD, default: busiest)")
+		id          = flag.String("id", "summary", "what to print: summary, table1, fig2..fig10, all")
+		day         = flag.String("day", "", "day for table1 (YYYY-MM-DD, default: busiest)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 	)
 	flag.Parse()
 	if (*in == "") == (*storeDir == "") {
 		log.Fatal("need exactly one of -in or -store")
+	}
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer msrv.Close()
+		log.Printf("metrics on http://%s/metrics", msrv.Addr())
 	}
 
 	var (
@@ -77,10 +87,16 @@ func main() {
 	}
 	defer r.Close()
 	p := instability.NewPipeline()
+	// Live taxonomy counters: a scrape during a long classify shows the
+	// per-class mix as it accumulates.
+	p.Acc.Register(obs.Default())
+	span := obs.StartSpan("classify")
 	n, err := instability.ClassifyLog(r, p)
 	if err != nil {
 		log.Fatal(err)
 	}
+	span.Add(int64(n))
+	span.End()
 	if exchangeName == "" {
 		exchangeName = "MRT"
 	}

@@ -21,13 +21,16 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"instability/internal/bgp"
 	"instability/internal/collector"
+	"instability/internal/core"
 	"instability/internal/netaddr"
+	"instability/internal/obs"
 	"instability/internal/session"
 	"instability/internal/store"
 )
@@ -36,16 +39,42 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bgpcollect: ")
 	var (
-		listen   = flag.String("listen", ":1790", "TCP listen address")
-		asn      = flag.Uint("as", 6000, "local AS number")
-		id       = flag.String("id", "198.32.186.250", "local BGP identifier")
-		out      = flag.String("out", "collected.irtl.gz", "output log file")
-		storeDir = flag.String("store", "", "also write through to an irtlstore at this directory")
-		exchName = flag.String("exchange", "live", "exchange name recorded in the log header")
-		hold     = flag.Duration("hold", 90*time.Second, "proposed hold time")
-		maxConns = flag.Int("maxconns", 0, "exit after this many sessions close (0 = run until SIGINT)")
+		listen      = flag.String("listen", ":1790", "TCP listen address")
+		asn         = flag.Uint("as", 6000, "local AS number")
+		id          = flag.String("id", "198.32.186.250", "local BGP identifier")
+		out         = flag.String("out", "collected.irtl.gz", "output log file")
+		storeDir    = flag.String("store", "", "also write through to an irtlstore at this directory")
+		exchName    = flag.String("exchange", "live", "exchange name recorded in the log header")
+		hold        = flag.Duration("hold", 90*time.Second, "proposed hold time")
+		maxConns    = flag.Int("maxconns", 0, "exit after this many sessions close (0 = run until SIGINT)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
+		report      = flag.Duration("report", 10*time.Second, "period of the one-line self-report (0 disables)")
 	)
 	flag.Parse()
+
+	reg := obs.Default()
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer msrv.Close()
+		log.Printf("metrics on http://%s/metrics", msrv.Addr())
+	}
+	var (
+		obsSessionsTotal = reg.Counter("irtl_collect_sessions_total", "Peering sessions accepted.")
+		obsSessionsOpen  = reg.Gauge("irtl_collect_sessions_open", "Peering sessions currently open.")
+		obsWriteErrors   = reg.Counter("irtl_collect_write_errors_total", "Record sink write failures.")
+		obsIngestLag     = reg.Gauge("irtl_collect_ingest_lag_seconds",
+			"Age of the most recently ingested record (now - record timestamp).")
+		obsRecords = func(t collector.RecType) *obs.Counter {
+			return reg.Counter("irtl_collect_records_total", "Records ingested, by type.", obs.L("type", t.String()))
+		}
+		recA    = obsRecords(collector.Announce)
+		recW    = obsRecords(collector.Withdraw)
+		recUp   = obsRecords(collector.SessionUp)
+		recDown = obsRecords(collector.SessionDown)
+	)
 
 	localID, err := netaddr.ParseAddr(*id)
 	if err != nil {
@@ -62,18 +91,39 @@ func main() {
 		}
 	}
 
+	// Live classification: every ingested record streams through the
+	// taxonomy classifier, so the per-class counters on /metrics move in
+	// real time during collection.
+	classifier := core.NewClassifier()
+	acc := core.NewAccumulator()
+	acc.Register(reg)
+
 	var mu sync.Mutex // serializes sink writes across sessions
 	writeRec := func(rec collector.Record) {
 		mu.Lock()
 		defer mu.Unlock()
 		if err := w.Write(rec); err != nil {
+			obsWriteErrors.Inc()
 			log.Printf("write: %v", err)
 		}
 		if db != nil {
 			if err := db.Writer().Append(rec); err != nil {
+				obsWriteErrors.Inc()
 				log.Printf("store append: %v", err)
 			}
 		}
+		acc.Add(classifier.Classify(rec))
+		switch rec.Type {
+		case collector.Announce:
+			recA.Inc()
+		case collector.Withdraw:
+			recW.Inc()
+		case collector.SessionUp:
+			recUp.Inc()
+		case collector.SessionDown:
+			recDown.Inc()
+		}
+		obsIngestLag.Set(time.Since(rec.Time).Seconds())
 	}
 	// closeSinks runs exactly once, no matter how shutdown is reached.
 	var closeOnce sync.Once
@@ -103,6 +153,34 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s as AS%d/%s, logging to %s", ln.Addr(), *asn, localID, *out)
+
+	// Periodic self-report, read back from the registry: the counters the
+	// instrumentation already maintains are the single source of truth.
+	reportDone := make(chan struct{})
+	if *report > 0 {
+		go func() {
+			tick := time.NewTicker(*report)
+			defer tick.Stop()
+			lastN, lastT := 0.0, time.Now()
+			for {
+				select {
+				case <-reportDone:
+					return
+				case <-tick.C:
+				}
+				n := reg.Sum("irtl_collect_records_total")
+				now := time.Now()
+				rate := (n - lastN) / now.Sub(lastT).Seconds()
+				lastN, lastT = n, now
+				log.Printf("ingested %.0f records (%.1f/s), %.0f drops, %.0f sessions open, lag %.2fs",
+					n,
+					rate,
+					reg.Value("irtl_collect_write_errors_total")+reg.Value("irtl_session_queue_drops_total"),
+					reg.Value("irtl_collect_sessions_open"),
+					reg.Value("irtl_collect_ingest_lag_seconds"))
+			}
+		}()
+	}
 
 	// Track live connections so stop can sever them: without this, a peer
 	// that never hangs up would stall wg.Wait() after SIGINT and the sinks
@@ -145,6 +223,8 @@ func main() {
 		}
 		conns[conn] = true
 		connMu.Unlock()
+		obsSessionsTotal.Inc()
+		obsSessionsOpen.Inc()
 		wg.Add(1)
 		go func(conn net.Conn) {
 			defer wg.Done()
@@ -152,6 +232,7 @@ func main() {
 				connMu.Lock()
 				delete(conns, conn)
 				connMu.Unlock()
+				obsSessionsOpen.Dec()
 				if n := sessionsClosed.Add(1); *maxConns > 0 && n >= int64(*maxConns) {
 					stop()
 				}
@@ -160,11 +241,21 @@ func main() {
 		}(conn)
 	}
 	wg.Wait()
+	close(reportDone)
 	closeSinks()
 	fmt.Printf("logged %d records to %s\n", w.Count(), *out)
 	if db != nil {
 		st := db.Stats()
 		fmt.Printf("store %s: %d records in %d segments\n", *storeDir, st.Records, st.Segments)
+	}
+	if tot := acc.TotalCounts(); acc.TotalEvents() > 0 {
+		var parts []string
+		for _, c := range core.Classes() {
+			if tot[c] > 0 {
+				parts = append(parts, fmt.Sprintf("%s %d", c, tot[c]))
+			}
+		}
+		fmt.Printf("classified: %s\n", strings.Join(parts, ", "))
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"instability/internal/bgp"
 	"instability/internal/collector"
 	"instability/internal/netaddr"
+	"instability/internal/obs"
 	"instability/internal/session"
 	"instability/internal/store"
 )
@@ -46,13 +47,26 @@ func main() {
 		id        = flag.String("id", "198.32.186.1", "local BGP identifier")
 		peer      = flag.Uint("peer", 0, "replay only records from this peer AS (0 = all, rewritten to the local identity)")
 		speedup   = flag.Float64("speedup", 600, "time compression factor (600 = one simulated hour per 6 wall seconds)")
-		limit     = flag.Int("n", 0, "stop after this many records (0 = all)")
-		stateless = flag.Bool("stateless", false, "replay as the stateless vendor: withdrawals are sent even for never-advertised prefixes, reproducing the log's WWDups on the wire")
+		limit       = flag.Int("n", 0, "stop after this many records (0 = all)")
+		stateless   = flag.Bool("stateless", false, "replay as the stateless vendor: withdrawals are sent even for never-advertised prefixes, reproducing the log's WWDups on the wire")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 	)
 	flag.Parse()
 	if (*in == "") == (*storeDir == "") {
 		log.Fatal("need exactly one of -in or -store")
 	}
+	reg := obs.Default()
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer msrv.Close()
+		log.Printf("metrics on http://%s/metrics", msrv.Addr())
+	}
+	obsSent := reg.Counter("irtl_replay_records_total", "Records replayed onto the wire.")
+	obsPosition := reg.Gauge("irtl_replay_position_seconds",
+		"Log-time position of the replay (Unix seconds of the last record sent).")
 	localID, err := netaddr.ParseAddr(*id)
 	if err != nil {
 		log.Fatal(err)
@@ -90,6 +104,7 @@ func main() {
 	}
 	log.Printf("established with %s; replaying %s at %gx", *connect, src, *speedup)
 
+	span := reg.StartSpan("replay")
 	var sent int
 	var prev time.Time
 	for {
@@ -125,10 +140,14 @@ func main() {
 			}
 		})
 		sent++
+		obsSent.Inc()
+		obsPosition.SetInt(rec.Time.Unix())
 		if *limit > 0 && sent >= *limit {
 			break
 		}
 	}
+	span.Add(int64(sent))
+	span.End()
 	// Let the final flush drain before closing.
 	time.Sleep(200 * time.Millisecond)
 	runner.Close()

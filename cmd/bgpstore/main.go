@@ -26,8 +26,23 @@ import (
 	"time"
 
 	"instability/internal/collector"
+	"instability/internal/obs"
 	"instability/internal/store"
 )
+
+// serveMetrics starts the exposition server when addr is nonempty; pprof
+// and the store's live ingest/query metrics become scrapeable for the life
+// of the command.
+func serveMetrics(addr string) {
+	if addr == "" {
+		return
+	}
+	msrv, err := obs.Serve(addr, obs.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("metrics on http://%s/metrics", msrv.Addr())
+}
 
 func main() {
 	log.SetFlags(0)
@@ -68,24 +83,29 @@ func openStore(dir string, window time.Duration, autoSeal int) *store.Store {
 func cmdIngest(args []string) {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
 	var (
-		dir      = fs.String("store", "", "store directory")
-		window   = fs.Duration("window", 24*time.Hour, "segment time-partition width")
-		autoSeal = fs.Int("autoseal", 1<<18, "seal automatically after this many buffered records (0 = at end only)")
+		dir         = fs.String("store", "", "store directory")
+		window      = fs.Duration("window", 24*time.Hour, "segment time-partition width")
+		autoSeal    = fs.Int("autoseal", 1<<18, "seal automatically after this many buffered records (0 = at end only)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 	)
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		log.Fatal("ingest: no input files")
 	}
+	serveMetrics(*metricsAddr)
 	s := openStore(*dir, *window, *autoSeal)
 	w := s.Writer()
 	total := 0
 	for _, path := range fs.Args() {
+		span := obs.StartSpan("ingest")
 		r, _, err := collector.OpenAny(path)
 		if err != nil {
 			log.Fatal(err)
 		}
 		n, err := w.AppendAll(r)
 		r.Close()
+		span.Add(int64(n))
+		span.End()
 		if err != nil {
 			log.Fatalf("%s: %v", path, err)
 		}
@@ -111,14 +131,16 @@ func cmdQuery(args []string) {
 		out       = fs.String("out", "", "write results as a native log instead of printing")
 		exchange  = fs.String("exchange", "store", "exchange name for the -out log header")
 		countOnly = fs.Bool("count", false, "print only the match count")
-		scanStats = fs.Bool("scanstats", false, "print index pushdown statistics to stderr")
-		limit     = fs.Int("n", 0, "stop after this many records (0 = all)")
+		scanStats   = fs.Bool("scanstats", false, "print index pushdown statistics to stderr")
+		limit       = fs.Int("n", 0, "stop after this many records (0 = all)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 	)
 	fs.Parse(args)
 	q, err := store.ParseQuery(*from, *to, *peers, *origins, *prefix, *types)
 	if err != nil {
 		log.Fatal(err)
 	}
+	serveMetrics(*metricsAddr)
 	s := openStore(*dir, 0, 0)
 	defer s.Close()
 	r, err := s.Query(q)
@@ -174,7 +196,9 @@ func cmdQuery(args []string) {
 func cmdCompact(args []string) {
 	fs := flag.NewFlagSet("compact", flag.ExitOnError)
 	dir := fs.String("store", "", "store directory")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 	fs.Parse(args)
+	serveMetrics(*metricsAddr)
 	s := openStore(*dir, 0, 0)
 	defer s.Close()
 	st, err := s.Compact()

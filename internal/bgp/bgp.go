@@ -152,8 +152,11 @@ func WriteMessage(w io.Writer, msg Message) error {
 	return err
 }
 
-// ReadMessage reads exactly one framed BGP message from r and decodes it.
-func ReadMessage(r io.Reader) (Message, error) {
+// ReadRaw reads exactly one framed BGP message from r and returns its raw
+// bytes (header included) without decoding. Splitting the blocking read
+// from the parse lets callers time the decode itself, excluding the time
+// spent waiting for the peer to send.
+func ReadRaw(r io.Reader) ([]byte, error) {
 	var hdr [HeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -168,6 +171,15 @@ func ReadMessage(r io.Reader) (Message, error) {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadMessage reads exactly one framed BGP message from r and decodes it.
+func ReadMessage(r io.Reader) (Message, error) {
+	buf, err := ReadRaw(r)
+	if err != nil {
 		return nil, err
 	}
 	return Unmarshal(buf)

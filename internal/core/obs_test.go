@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/collector"
+	"instability/internal/netaddr"
+	"instability/internal/obs"
+)
+
+func obsRec(t *testing.T, sec int, typ collector.RecType) collector.Record {
+	t.Helper()
+	p, err := netaddr.ParsePrefix("10.1.0.0/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return collector.Record{
+		Time:   time.Unix(int64(sec), 0).UTC(),
+		Type:   typ,
+		PeerAS: 690,
+		Prefix: p,
+		Attrs:  bgp.Attrs{Origin: bgp.OriginIGP, Path: bgp.PathFromASNs(690, 237), NextHop: 1},
+	}
+}
+
+// TestTotalCountsMatchesDays proves the atomic running totals agree with
+// summing the per-day maps, which is what TotalCounts used to do.
+func TestTotalCountsMatchesDays(t *testing.T) {
+	c := NewClassifier()
+	a := NewAccumulator()
+	for i := 0; i < 50; i++ {
+		a.Add(c.Classify(obsRec(t, i, collector.Announce)))
+		a.Add(c.Classify(obsRec(t, 86400+i, collector.Withdraw)))
+	}
+	var fromDays [NumClasses]int
+	for _, s := range a.Days {
+		for i, v := range s.Counts {
+			fromDays[i] += v
+		}
+	}
+	if got := a.TotalCounts(); got != fromDays {
+		t.Errorf("TotalCounts = %v, day sums = %v", got, fromDays)
+	}
+	if got := a.TotalEvents(); got != 100 {
+		t.Errorf("TotalEvents = %d, want 100", got)
+	}
+}
+
+// TestRegisterExposesLiveTotals scrapes the registry concurrently with
+// ingest; under -race this proves exposition takes no accumulator lock and
+// races with nothing.
+func TestRegisterExposesLiveTotals(t *testing.T) {
+	cl := NewClassifier()
+	a := NewAccumulator()
+	reg := obs.NewRegistry()
+	a.Register(reg)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			a.Add(cl.Classify(obsRec(t, i/10, collector.Announce)))
+		}
+	}()
+	// Concurrent scrapes while Add runs.
+	for i := 0; i < 100; i++ {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+
+	if got := reg.Value("irtl_classify_events_total"); got != 2000 {
+		t.Errorf("events total = %g, want 2000", got)
+	}
+	// Identical re-announcements after the first are AADups.
+	if got := reg.Value("irtl_classify_class_total", obs.L("class", "AADup")); got != 1999 {
+		t.Errorf("AADup total = %g, want 1999", got)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `irtl_classify_class_total{class="AADup"} 1999`) {
+		t.Errorf("exposition missing AADup series:\n%s", sb.String())
+	}
+
+	// Re-registration rebinds to a fresh accumulator.
+	b := NewAccumulator()
+	b.Register(reg)
+	if got := reg.Value("irtl_classify_events_total"); got != 0 {
+		t.Errorf("after rebind, events total = %g, want 0", got)
+	}
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
-	"instability/internal/collector"
 	"sort"
+	"sync/atomic"
 	"time"
+
+	"instability/internal/collector"
 )
 
 // Date is a UTC civil date, counted in days since the Unix epoch. It is the
@@ -141,8 +143,18 @@ func (s *DayStats) RoutesAffected(keep func(counts *[NumClasses]int) bool) int {
 }
 
 // Accumulator folds classified events into per-day statistics.
+//
+// The accumulator itself is single-writer (Add is not safe for concurrent
+// use), but its running class totals are kept in atomics so a concurrent
+// reader — a metrics exposition handler, a progress display — can snapshot
+// them at any time without stopping ingest or taking a lock.
 type Accumulator struct {
 	Days map[Date]*DayStats
+
+	// totals and events are the live cross-day tallies, maintained by Add
+	// and read lock-free by TotalCounts and the obs gauges.
+	totals [NumClasses]atomic.Int64
+	events atomic.Int64
 }
 
 // NewAccumulator returns an empty accumulator.
@@ -165,6 +177,8 @@ func (a *Accumulator) Add(ev Event) {
 	t := ev.Record.Time
 	s := a.Day(DateOf(t))
 	s.Counts[ev.Class]++
+	a.totals[ev.Class].Add(1)
+	a.events.Add(1)
 	if ev.PolicyShift {
 		s.PolicyShifts++
 	}
@@ -237,16 +251,20 @@ func (a *Accumulator) Dates() []Date {
 	return out
 }
 
-// TotalCounts sums class counts across all days.
+// TotalCounts returns the class counts summed across all days. It reads
+// the live atomic totals, so it is O(1), safe to call concurrently with
+// Add, and equal to summing Days' Counts.
 func (a *Accumulator) TotalCounts() [NumClasses]int {
 	var total [NumClasses]int
-	for _, s := range a.Days {
-		for i, v := range s.Counts {
-			total[i] += v
-		}
+	for i := range total {
+		total[i] = int(a.totals[i].Load())
 	}
 	return total
 }
+
+// TotalEvents returns the number of events folded in so far (the sum of
+// TotalCounts), readable concurrently with Add.
+func (a *Accumulator) TotalEvents() int64 { return a.events.Load() }
 
 // MonthKey identifies a calendar month.
 type MonthKey struct {

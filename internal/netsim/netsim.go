@@ -18,6 +18,7 @@ import (
 	"instability/internal/events"
 	"instability/internal/exchange"
 	"instability/internal/netaddr"
+	"instability/internal/obs"
 	"instability/internal/router"
 	"instability/internal/session"
 	"instability/internal/topology"
@@ -52,6 +53,14 @@ type Sim struct {
 	CSUs    []*router.CSU
 
 	cfg Config
+
+	// Progress gauges, set by PublishMetrics and refreshed from the
+	// simulation's own goroutine after each advance (the event loop is
+	// single-threaded, so gauge funcs reading live state would race; plain
+	// gauges updated at step boundaries do not).
+	obsSimTime *obs.Gauge
+	obsLinks   *obs.Gauge
+	obsEvents  *obs.Gauge
 }
 
 // Build generates the topology and instantiates every AS as a live router.
@@ -136,6 +145,28 @@ func Build(cfg Config) (*Sim, error) {
 	return s, nil
 }
 
+// PublishMetrics registers the simulation's progress gauges in reg:
+// simulated clock position, established link count, and events processed.
+// The gauges refresh after each Settle/Run/FlapPrefix advance.
+func (s *Sim) PublishMetrics(reg *obs.Registry) {
+	s.obsSimTime = reg.Gauge("irtl_netsim_sim_seconds",
+		"Simulated clock position (Unix seconds).")
+	s.obsLinks = reg.Gauge("irtl_netsim_links_established",
+		"Links with both BGP sessions established.")
+	s.obsEvents = reg.Gauge("irtl_netsim_events_processed",
+		"Discrete events processed by the simulation.")
+	s.publish()
+}
+
+func (s *Sim) publish() {
+	if s.obsSimTime == nil {
+		return
+	}
+	s.obsSimTime.SetInt(s.Events.Now().Unix())
+	s.obsLinks.SetInt(int64(s.EstablishedLinks()))
+	s.obsEvents.SetInt(int64(s.Events.Processed()))
+}
+
 // Settle runs the session-establishment window and then originates every
 // AS's prefixes, returning once the originations have had settle time to
 // propagate.
@@ -148,10 +179,14 @@ func (s *Sim) Settle(establish, propagate time.Duration) {
 		}
 	}
 	s.Events.RunFor(propagate)
+	s.publish()
 }
 
 // Run advances the simulation.
-func (s *Sim) Run(d time.Duration) { s.Events.RunFor(d) }
+func (s *Sim) Run(d time.Duration) {
+	s.Events.RunFor(d)
+	s.publish()
+}
 
 // FlapPrefix withdraws and re-announces one AS's prefix with the given
 // period, count times (a scripted unstable circuit).
@@ -163,6 +198,7 @@ func (s *Sim) FlapPrefix(asn bgp.ASN, prefix netaddr.Prefix, period time.Duratio
 		r.Originate(prefix, bgp.OriginIGP)
 		s.Events.RunFor(period)
 	}
+	s.publish()
 }
 
 // EstablishedLinks counts links with both sessions up.

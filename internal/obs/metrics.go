@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is usable.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n. Negative deltas are ignored; counters are
+// monotone.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can go up and down. The zero value
+// is usable and reads as 0.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(n int64) { g.Set(float64(n)) }
+
+// Add applies a delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DurationBuckets is the default histogram layout for latencies, in
+// seconds: roughly logarithmic from 1µs to 10s, which spans everything from
+// a message decode to a multi-window compaction.
+var DurationBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// ExpBuckets returns n bucket upper edges starting at start, each factor
+// times the previous — for sizing non-latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram is a bounded histogram: observations land in fixed buckets
+// (upper edges plus overflow), and quantiles are estimated by linear
+// interpolation within the containing bucket. All methods are safe for
+// concurrent use; an observation costs a binary search and two atomic adds.
+type Histogram struct {
+	edges   []float64
+	buckets []atomic.Uint64 // len(edges)+1; last is the overflow bucket
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(edges []float64) *Histogram {
+	return &Histogram{edges: edges, buckets: make([]atomic.Uint64, len(edges)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.edges, v) // first edge >= v; overflow past the end
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0 — the idiom for timing
+// a code path: t0 := time.Now(); ...; h.ObserveSince(t0).
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts:
+// the rank is located in its bucket and interpolated linearly between the
+// bucket's edges. Values beyond the last edge clamp to it. Returns 0 for an
+// empty histogram.
+//
+// The estimate is read from a live histogram without locking; concurrent
+// observations can make the per-bucket counts add to slightly more or less
+// than the snapshot total, which only shifts the estimate within a bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		if i >= len(h.edges) {
+			return h.edges[len(h.edges)-1] // overflow: clamp to the last edge
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.edges[i-1]
+		}
+		hi := h.edges[i]
+		return lo + (hi-lo)*((rank-cum)/n)
+	}
+	return h.edges[len(h.edges)-1]
+}

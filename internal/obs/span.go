@@ -1,0 +1,44 @@
+package obs
+
+import "time"
+
+// Span measures one execution of a named pipeline stage: wall time plus an
+// event count, published on End as
+//
+//	irtl_stage_seconds{stage=...}       histogram of stage durations
+//	irtl_stage_runs_total{stage=...}    completed executions
+//	irtl_stage_events_total{stage=...}  events processed across executions
+//
+// A Span belongs to one goroutine; Add and End are not safe for concurrent
+// use on the same span. Spans are meant for stage-granularity timing (an
+// ingest pass, a seal, a classify run), not per-record use.
+type Span struct {
+	reg    *Registry
+	stage  string
+	start  time.Time
+	events int64
+}
+
+// StartSpan begins a stage span in the registry.
+func (r *Registry) StartSpan(stage string) *Span {
+	return &Span{reg: r, stage: stage, start: time.Now()}
+}
+
+// StartSpan begins a stage span in the default registry.
+func StartSpan(stage string) *Span { return Default().StartSpan(stage) }
+
+// Add notes n events processed by the stage.
+func (sp *Span) Add(n int64) { sp.events += n }
+
+// Events returns the events recorded so far.
+func (sp *Span) Events() int64 { return sp.events }
+
+// End publishes the span and returns its duration.
+func (sp *Span) End() time.Duration {
+	d := time.Since(sp.start)
+	lbl := L("stage", sp.stage)
+	sp.reg.Histogram("irtl_stage_seconds", "Pipeline stage wall time.", DurationBuckets, lbl).Observe(d.Seconds())
+	sp.reg.Counter("irtl_stage_runs_total", "Completed pipeline stage executions.", lbl).Inc()
+	sp.reg.Counter("irtl_stage_events_total", "Events processed by pipeline stages.", lbl).Add(sp.events)
+	return d
+}

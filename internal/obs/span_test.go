@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanTiming(t *testing.T) {
+	reg := NewRegistry()
+	sp := reg.StartSpan("classify")
+	sp.Add(100)
+	sp.Add(23)
+	time.Sleep(10 * time.Millisecond)
+	d := sp.End()
+	if d < 10*time.Millisecond {
+		t.Errorf("span duration = %v, want >= 10ms", d)
+	}
+
+	lbl := L("stage", "classify")
+	if got := reg.Value("irtl_stage_runs_total", lbl); got != 1 {
+		t.Errorf("runs = %g, want 1", got)
+	}
+	if got := reg.Value("irtl_stage_events_total", lbl); got != 123 {
+		t.Errorf("events = %g, want 123", got)
+	}
+	h := reg.Histogram("irtl_stage_seconds", "", DurationBuckets, lbl)
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d, want 1", h.Count())
+	}
+	if h.Sum() < 0.010 {
+		t.Errorf("histogram sum = %g, want >= 0.010", h.Sum())
+	}
+
+	// A second span of the same stage accumulates into the same series.
+	sp2 := reg.StartSpan("classify")
+	sp2.Add(1)
+	sp2.End()
+	if got := reg.Value("irtl_stage_runs_total", lbl); got != 2 {
+		t.Errorf("runs after second span = %g, want 2", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Errorf("histogram count after second span = %d, want 2", got)
+	}
+}
+
+func TestSpanStagesAreIndependent(t *testing.T) {
+	reg := NewRegistry()
+	reg.StartSpan("ingest").End()
+	reg.StartSpan("seal").End()
+	if got := reg.Value("irtl_stage_runs_total", L("stage", "ingest")); got != 1 {
+		t.Errorf("ingest runs = %g, want 1", got)
+	}
+	if got := reg.Value("irtl_stage_runs_total", L("stage", "seal")); got != 1 {
+		t.Errorf("seal runs = %g, want 1", got)
+	}
+	if got := reg.Sum("irtl_stage_runs_total"); got != 2 {
+		t.Errorf("total runs = %g, want 2", got)
+	}
+}

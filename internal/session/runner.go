@@ -4,8 +4,22 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"instability/internal/bgp"
+	"instability/internal/obs"
+)
+
+// Live-session instrumentation, shared by every Runner in the process.
+var (
+	obsMessages = obs.Default().Counter("irtl_session_messages_total",
+		"BGP messages received and decoded by live session runners.")
+	obsDecodeSeconds = obs.Default().Histogram("irtl_session_decode_seconds",
+		"Time to decode one received BGP message (excludes socket wait).", nil)
+	obsDecodeErrors = obs.Default().Counter("irtl_session_decode_errors_total",
+		"Received BGP messages that failed to decode.")
+	obsQueueDrops = obs.Default().Counter("irtl_session_queue_drops_total",
+		"Sessions torn down because the outbound queue overflowed.")
 )
 
 // Runner drives a Peer over a real net.Conn: it serializes FSM input from
@@ -63,6 +77,7 @@ func (r *Runner) enqueue(msg bgp.Message) {
 	select {
 	case r.out <- msg:
 	default:
+		obsQueueDrops.Inc()
 		r.closeConn()
 	}
 }
@@ -100,11 +115,20 @@ func (r *Runner) Run() error {
 
 	var err error
 	for {
-		var msg bgp.Message
-		msg, err = bgp.ReadMessage(r.conn)
+		var raw []byte
+		raw, err = bgp.ReadRaw(r.conn)
 		if err != nil {
 			break
 		}
+		t0 := time.Now()
+		var msg bgp.Message
+		msg, err = bgp.Unmarshal(raw)
+		if err != nil {
+			obsDecodeErrors.Inc()
+			break
+		}
+		obsDecodeSeconds.ObserveSince(t0)
+		obsMessages.Inc()
 		r.mu.Lock()
 		r.peer.Deliver(msg)
 		closed := r.closed

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"os"
 	"sort"
+	"time"
 
 	"instability/internal/collector"
 )
@@ -24,6 +25,7 @@ type CompactStats struct {
 func (s *Store) Compact() (CompactStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	t0 := time.Now()
 	var st CompactStats
 	st.SegmentsBefore = len(s.segs)
 
@@ -64,6 +66,9 @@ func (s *Store) Compact() (CompactStats, error) {
 		sortSegments(s.segs)
 	}
 	st.SegmentsAfter = len(s.segs)
+	obsCompactSeconds.ObserveSince(t0)
+	obsCompactRecords.Add(st.RecordsRewritten)
+	obsSegments.SetInt(int64(len(s.segs)))
 	return st, nil
 }
 

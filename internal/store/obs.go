@@ -1,0 +1,58 @@
+package store
+
+import "instability/internal/obs"
+
+// Store instrumentation, shared by every open store in the process. Ingest
+// metrics cost one atomic op per record on the hot path; everything heavier
+// (WAL group commits, seals, compactions, query pushdown totals) is
+// recorded at batch boundaries.
+var (
+	obsAppends = obs.Default().Counter("irtl_store_append_records_total",
+		"Records appended through store writers.")
+	obsWALAppendSeconds = obs.Default().Histogram("irtl_store_wal_append_seconds",
+		"WAL group-commit latency (one observation per flush).", nil)
+	obsWALBytes = obs.Default().Gauge("irtl_store_wal_bytes",
+		"Current WAL size in bytes.")
+	obsMemRecords = obs.Default().Gauge("irtl_store_mem_records",
+		"Unsealed records in the memtable.")
+	obsSegments = obs.Default().Gauge("irtl_store_segments",
+		"Sealed segment files on disk.")
+
+	obsSealSeconds = obs.Default().Histogram("irtl_store_seal_seconds",
+		"Time to seal the memtable into segments (one observation per seal).", nil)
+	obsSealedRecords = obs.Default().Counter("irtl_store_sealed_records_total",
+		"Records written into sealed segments.")
+	obsSealedSegments = obs.Default().Counter("irtl_store_sealed_segments_total",
+		"Segments produced by seals.")
+
+	obsCompactSeconds = obs.Default().Histogram("irtl_store_compact_seconds",
+		"Compaction pass latency.", nil)
+	obsCompactRecords = obs.Default().Counter("irtl_store_compact_records_total",
+		"Records rewritten by compaction.")
+
+	obsQueries = obs.Default().Counter("irtl_store_queries_total",
+		"Queries opened against stores.")
+	obsQuerySegments = obs.Default().Counter("irtl_store_query_segments_total",
+		"Segments present at query time (denominator of the segment skip ratio).")
+	obsQuerySegmentsScanned = obs.Default().Counter("irtl_store_query_segments_scanned_total",
+		"Segments not skipped by segment-level pruning.")
+	obsQueryBlocks = obs.Default().Counter("irtl_store_query_blocks_total",
+		"Blocks present at query time (denominator of the block skip ratio).")
+	obsQueryBlocksScanned = obs.Default().Counter("irtl_store_query_blocks_scanned_total",
+		"Blocks actually decompressed by queries.")
+	obsQueryRecordsScanned = obs.Default().Counter("irtl_store_query_records_scanned_total",
+		"Records decoded from scanned blocks.")
+	obsQueryRecordsMatched = obs.Default().Counter("irtl_store_query_records_matched_total",
+		"Records that satisfied the full query predicate.")
+)
+
+// publishScanStats folds one finished query's pushdown accounting into the
+// process counters, so skip ratios are visible live, not only per query.
+func publishScanStats(st ScanStats) {
+	obsQuerySegments.Add(int64(st.SegmentsTotal))
+	obsQuerySegmentsScanned.Add(int64(st.SegmentsScanned))
+	obsQueryBlocks.Add(int64(st.BlocksTotal))
+	obsQueryBlocksScanned.Add(int64(st.BlocksScanned))
+	obsQueryRecordsScanned.Add(int64(st.RecordsScanned + st.MemRecords))
+	obsQueryRecordsMatched.Add(int64(st.RecordsMatched))
+}

@@ -38,6 +38,7 @@ type Reader struct {
 func (s *Store) Query(q Query) (*Reader, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	obsQueries.Inc()
 	r := &Reader{q: q}
 	r.stats.SegmentsTotal = len(s.segs)
 	for _, g := range s.segs {
@@ -138,12 +139,14 @@ func (r *Reader) ReadAll() ([]collector.Record, error) {
 // reader returns io.EOF.
 func (r *Reader) Stats() ScanStats { return r.stats }
 
-// Close releases the reader's open segment files.
+// Close releases the reader's open segment files and publishes the query's
+// pushdown accounting to the process metrics.
 func (r *Reader) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
+	publishScanStats(r.stats)
 	for _, st := range r.streams {
 		st.close()
 	}

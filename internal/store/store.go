@@ -181,6 +181,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		mw.recs = append(mw.recs, ent.rec)
 		s.memN++
 	}
+	obsSegments.SetInt(int64(len(s.segs)))
+	obsMemRecords.SetInt(int64(s.memN))
+	obsWALBytes.SetInt(s.wal.size())
 	return s, nil
 }
 

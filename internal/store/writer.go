@@ -45,6 +45,8 @@ func (w *Writer) Append(rec collector.Record) error {
 	mw.recs = append(mw.recs, rec)
 	s.memN++
 	w.appended++
+	obsAppends.Inc()
+	obsMemRecords.SetInt(int64(s.memN))
 	if w.pendingN >= s.opts.FlushEvery {
 		if err := w.flushLocked(); err != nil {
 			return err
@@ -97,9 +99,15 @@ func (w *Writer) Flush() error {
 
 func (w *Writer) flushLocked() error {
 	s := w.s
+	if len(w.pending) == 0 {
+		return nil
+	}
+	t0 := time.Now()
 	if err := s.wal.append(w.pending, s.opts.Sync); err != nil {
 		return err
 	}
+	obsWALAppendSeconds.ObserveSince(t0)
+	obsWALBytes.SetInt(s.wal.size())
 	w.pending = w.pending[:0]
 	w.pendingN = 0
 	return nil
@@ -122,6 +130,8 @@ func (s *Store) sealLocked() error {
 	if s.memN == 0 {
 		return nil
 	}
+	t0 := time.Now()
+	sealedRecords := s.memN
 	windows := make([]int64, 0, len(s.mem))
 	for wd, mw := range s.mem {
 		if len(mw.recs) > 0 {
@@ -142,9 +152,18 @@ func (s *Store) sealLocked() error {
 		delete(s.mem, wd)
 	}
 	sortSegments(s.segs)
+	obsSealSeconds.ObserveSince(t0)
+	obsSealedRecords.Add(int64(sealedRecords - s.memN))
+	obsSealedSegments.Add(int64(len(windows)))
+	obsSegments.SetInt(int64(len(s.segs)))
+	obsMemRecords.SetInt(int64(s.memN))
 	// Every WAL entry is now covered by a sealed segment; a crash before
 	// this truncate is handled by sequence-range dedupe on reopen.
-	return s.wal.reset(s.opts.Sync)
+	if err := s.wal.reset(s.opts.Sync); err != nil {
+		return err
+	}
+	obsWALBytes.SetInt(0)
+	return nil
 }
 
 // Count returns the number of records appended through this writer.
