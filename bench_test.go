@@ -6,6 +6,7 @@
 package instability_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -562,13 +563,13 @@ func BenchmarkStoreQuery(b *testing.B) {
 		}
 	}
 
-	run := func(b *testing.B, q store.Query) store.ScanStats {
+	run := func(b *testing.B, open func() (*store.Reader, error)) store.ScanStats {
 		b.Helper()
 		b.ReportAllocs()
 		var st store.ScanStats
 		var matched int
 		for i := 0; i < b.N; i++ {
-			r, err := s.Query(q)
+			r, err := open()
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -587,25 +588,37 @@ func BenchmarkStoreQuery(b *testing.B) {
 		}
 		b.ReportMetric(float64(st.BlocksScanned), "blocks_decompressed")
 		b.ReportMetric(float64(matched), "records_matched")
+		b.ReportMetric(float64(matched)*float64(b.N)/b.Elapsed().Seconds(), "records_per_sec")
 		return st
 	}
 
-	var full, pushed store.ScanStats
+	var full, pushed, par store.ScanStats
 	b.Run("FullScan", func(b *testing.B) {
-		full = run(b, store.Query{})
+		full = run(b, func() (*store.Reader, error) { return s.Query(store.Query{}) })
 	})
 	b.Run("OriginPushdown", func(b *testing.B) {
-		pushed = run(b, store.Query{OriginAS: []bgp.ASN{origin}})
+		pushed = run(b, func() (*store.Reader, error) {
+			return s.Query(store.Query{OriginAS: []bgp.ASN{origin}})
+		})
+	})
+	// The concurrent scan path: same full-scan work fanned across a worker
+	// pool, so records_per_sec here vs FullScan is the scan speedup.
+	b.Run("ParallelScan", func(b *testing.B) {
+		par = run(b, func() (*store.Reader, error) { return s.QueryParallel(store.Query{}, 8) })
 	})
 	if full.BlocksScanned > 0 && pushed.BlocksScanned >= full.BlocksScanned {
 		b.Fatalf("pushdown decompressed %d blocks, full scan %d — index not helping",
 			pushed.BlocksScanned, full.BlocksScanned)
 	}
+	if par.BlocksScanned != full.BlocksScanned || par.RecordsMatched != full.RecordsMatched {
+		b.Fatalf("parallel scan did different work: %+v vs %+v", par, full)
+	}
 }
 
-// BenchmarkPipelineFeed measures the full per-record analysis cost
-// (classify + accumulate + RIB mirror).
-func BenchmarkPipelineFeed(b *testing.B) {
+// feedRecords synthesizes the two-day record set shared by the Feed
+// benchmarks. Records are copied out of the generator's reused day buffer.
+func feedRecords(b *testing.B) []collector.Record {
+	b.Helper()
 	cfg := workload.SmallConfig()
 	cfg.Days = 2
 	g, err := workload.New(cfg)
@@ -614,10 +627,40 @@ func BenchmarkPipelineFeed(b *testing.B) {
 	}
 	var recs []collector.Record
 	g.Run(func(r collector.Record) { recs = append(recs, r) }, nil)
+	return recs
+}
+
+// BenchmarkPipelineFeed measures the full per-record analysis cost
+// (classify + accumulate + RIB mirror).
+func BenchmarkPipelineFeed(b *testing.B) {
+	recs := feedRecords(b)
 	p := instability.NewPipeline()
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p.Feed(recs[i%len(recs)])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records_per_sec")
+}
+
+// BenchmarkPipelineFeedParallel measures the sharded pipeline's feed
+// throughput at 1, 2, 4, and 8 shards. records_per_sec is the comparable
+// number across shard counts (and against BenchmarkPipelineFeed): on a
+// multi-core machine it scales with shards until the feeder saturates.
+func BenchmarkPipelineFeedParallel(b *testing.B) {
+	recs := feedRecords(b)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			pp := instability.NewParallelPipeline(instability.ParallelConfig{Shards: shards})
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pp.Feed(recs[i%len(recs)])
+			}
+			pp.Sync() // include draining the shard queues in the timing
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records_per_sec")
+			pp.Close()
+		})
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"instability"
@@ -25,6 +26,7 @@ import (
 	"instability/internal/core"
 	"instability/internal/obs"
 	"instability/internal/report"
+	"instability/internal/rib"
 	"instability/internal/store"
 )
 
@@ -41,6 +43,7 @@ func main() {
 		prefix   = flag.String("prefix", "", "store query: exact prefix (CIDR)")
 		id          = flag.String("id", "summary", "what to print: summary, table1, fig2..fig10, all")
 		day         = flag.String("day", "", "day for table1 (YYYY-MM-DD, default: busiest)")
+		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "classifier shards and store-scan workers (1 = serial)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 	)
 	flag.Parse()
@@ -78,7 +81,7 @@ func main() {
 			log.Fatal(serr)
 		}
 		defer s.Close()
-		r, err = s.Query(q)
+		r, err = s.QueryParallel(q, *parallel)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,14 +89,36 @@ func main() {
 		source = *storeDir
 	}
 	defer r.Close()
-	p := instability.NewPipeline()
-	// Live taxonomy counters: a scrape during a long classify shows the
-	// per-class mix as it accumulates.
-	p.Acc.Register(obs.Default())
+
+	// The two pipelines produce identical statistics (the equivalence the
+	// parallel package tests under -race); which one runs is purely a matter
+	// of how many cores the flag lets us use.
+	var (
+		acc         *core.Accumulator
+		censusByDay map[core.Date]rib.Census
+		finalCensus func() rib.Census
+		n           int
+		err2        error
+	)
 	span := obs.StartSpan("classify")
-	n, err := instability.ClassifyLog(r, p)
-	if err != nil {
-		log.Fatal(err)
+	if *parallel > 1 {
+		pp := instability.NewParallelPipeline(instability.ParallelConfig{Shards: *parallel})
+		// Live taxonomy counters: merged at each day barrier, so a scrape
+		// during a long classify trails the stream by at most one day.
+		pp.Acc.Register(obs.Default())
+		n, err2 = instability.ClassifyLogParallel(r, pp)
+		pp.Close()
+		acc, censusByDay, finalCensus = pp.Acc, pp.CensusByDay, pp.Census
+	} else {
+		p := instability.NewPipeline()
+		// Live taxonomy counters: a scrape during a long classify shows the
+		// per-class mix as it accumulates.
+		p.Acc.Register(obs.Default())
+		n, err2 = instability.ClassifyLog(r, p)
+		acc, censusByDay, finalCensus = p.Acc, p.CensusByDay, p.Table.TakeCensus
+	}
+	if err2 != nil {
+		log.Fatal(err2)
 	}
 	span.Add(int64(n))
 	span.End()
@@ -102,7 +127,7 @@ func main() {
 	}
 	fmt.Printf("classified %d records from %s (%s)\n\n", n, source, exchangeName)
 
-	table1Day := busiestDay(p.Acc)
+	table1Day := busiestDay(acc)
 	if *day != "" {
 		var t core.Date
 		parsed, err := parseDate(*day)
@@ -116,30 +141,30 @@ func main() {
 	show := func(name string) {
 		switch name {
 		case "summary":
-			printSummary(p)
+			printSummary(acc, finalCensus())
 		case "table1":
-			fmt.Println(report.Table1(p.Acc, table1Day))
+			fmt.Println(report.Table1(acc, table1Day))
 		case "fig2":
-			fmt.Println(report.Fig2(p.Acc))
+			fmt.Println(report.Fig2(acc))
 		case "fig3":
-			fmt.Println(report.Fig3(p.Acc, nil))
+			fmt.Println(report.Fig3(acc, nil))
 		case "fig4":
-			dates := p.Acc.Dates()
+			dates := acc.Dates()
 			if len(dates) > 7 {
-				fmt.Println(report.Fig4(p.Acc, dates[len(dates)/2]))
+				fmt.Println(report.Fig4(acc, dates[len(dates)/2]))
 			}
 		case "fig5":
-			fmt.Println(report.Fig5(p.Acc, 1))
+			fmt.Println(report.Fig5(acc, 1))
 		case "fig6":
-			fmt.Println(report.Fig6(p.Acc))
+			fmt.Println(report.Fig6(acc))
 		case "fig7":
-			fmt.Println(report.Fig7(p.Acc))
+			fmt.Println(report.Fig7(acc))
 		case "fig8":
-			fmt.Println(report.Fig8(p.Acc))
+			fmt.Println(report.Fig8(acc))
 		case "fig9":
-			fmt.Println(report.Fig9(p.Acc, nil))
+			fmt.Println(report.Fig9(acc, nil))
 		case "fig10":
-			fmt.Println(report.Fig10(p.CensusByDay))
+			fmt.Println(report.Fig10(censusByDay))
 		default:
 			log.Fatalf("unknown -id %q", name)
 		}
@@ -154,8 +179,8 @@ func main() {
 	show(*id)
 }
 
-func printSummary(p *instability.Pipeline) {
-	tot := p.Acc.TotalCounts()
+func printSummary(acc *core.Accumulator, census rib.Census) {
+	tot := acc.TotalCounts()
 	all := 0
 	for _, v := range tot {
 		all += v
@@ -168,7 +193,6 @@ func printSummary(p *instability.Pipeline) {
 	path := tot[core.AADup] + tot[core.WWDup]
 	fmt.Printf("instability %s, pathological %s (%.1fx)\n",
 		report.FormatCount(instab), report.FormatCount(path), float64(path)/float64(max(instab, 1)))
-	census := p.Table.TakeCensus()
 	fmt.Printf("final table: %d prefixes, %d multihomed (%.0f%%), %d origin ASes, %d unique paths\n",
 		census.Prefixes, census.Multihomed, census.MultihomedShare()*100, census.OriginASes, census.UniquePaths)
 }

@@ -22,6 +22,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"time"
 
 	"instability/internal/bgp"
@@ -49,6 +50,7 @@ func main() {
 		speedup   = flag.Float64("speedup", 600, "time compression factor (600 = one simulated hour per 6 wall seconds)")
 		limit       = flag.Int("n", 0, "stop after this many records (0 = all)")
 		stateless   = flag.Bool("stateless", false, "replay as the stateless vendor: withdrawals are sent even for never-advertised prefixes, reproducing the log's WWDups on the wire")
+		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "store query: segment-scan decompression workers (1 = serial scan)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 	)
 	flag.Parse()
@@ -72,7 +74,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	r, src, err := openInput(*in, *storeDir, *from, *to, *origin, *prefix)
+	r, src, err := openInput(*in, *storeDir, *from, *to, *origin, *prefix, *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -159,7 +161,7 @@ func main() {
 // or an indexed store query for -store. The -peer flag is applied in the
 // replay loop either way, so it is not folded into the store query here;
 // time, origin, and prefix predicates are pushed down to the store.
-func openInput(in, storeDir, from, to, origin, prefix string) (collector.RecordReader, string, error) {
+func openInput(in, storeDir, from, to, origin, prefix string, parallel int) (collector.RecordReader, string, error) {
 	if in != "" {
 		r, _, err := collector.OpenAny(in)
 		return r, in, err
@@ -172,7 +174,7 @@ func openInput(in, storeDir, from, to, origin, prefix string) (collector.RecordR
 	if err != nil {
 		return nil, "", err
 	}
-	r, err := s.Query(q)
+	r, err := s.QueryParallel(q, parallel)
 	if err != nil {
 		s.Close()
 		return nil, "", err

@@ -23,6 +23,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"instability/internal/collector"
@@ -133,6 +134,7 @@ func cmdQuery(args []string) {
 		countOnly = fs.Bool("count", false, "print only the match count")
 		scanStats   = fs.Bool("scanstats", false, "print index pushdown statistics to stderr")
 		limit       = fs.Int("n", 0, "stop after this many records (0 = all)")
+		parallel    = fs.Int("parallel", runtime.GOMAXPROCS(0), "segment-scan decompression workers (1 = serial scan)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 	)
 	fs.Parse(args)
@@ -143,7 +145,7 @@ func cmdQuery(args []string) {
 	serveMetrics(*metricsAddr)
 	s := openStore(*dir, 0, 0)
 	defer s.Close()
-	r, err := s.Query(q)
+	r, err := s.QueryParallel(q, *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -172,7 +172,9 @@ func OpenMRT(path string) (*MRTReader, error) {
 		r.under = f
 		return r, nil
 	}
-	gz, err := gzip.NewReader(f)
+	// Buffer the file reads so the flate layer never issues small syscalls
+	// (see fileReadBufSize in collector.go).
+	gz, err := gzip.NewReader(bufio.NewReaderSize(f, fileReadBufSize))
 	if err != nil {
 		f.Close()
 		return nil, err

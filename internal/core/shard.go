@@ -1,0 +1,49 @@
+package core
+
+import (
+	"instability/internal/collector"
+	"instability/internal/netaddr"
+)
+
+// The classifier's history is keyed strictly per (peer, prefix): no record's
+// classification ever reads another key's state. That makes classification
+// embarrassingly parallel under one constraint — every record of a key must
+// be processed by the same worker, in arrival order. ShardOf is the
+// partition function that enforces it: a stable hash of exactly the fields
+// of the classifier's stateKey.
+
+// ShardOf returns a stable shard index in [0, shards) for rec's classifier
+// state key (peer AS, peer address, prefix). Records with equal keys always
+// land on the same shard, so a per-shard Classifier sees exactly the
+// per-key-ordered substream it needs.
+func ShardOf(rec collector.Record, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := mix64(uint64(rec.PeerAS)<<48 ^ uint64(rec.PeerAddr)<<16 ^ uint64(rec.Prefix.Bits()))
+	h ^= mix64(uint64(rec.Prefix.Addr()) ^ 0x9e3779b97f4a7c15)
+	return int(h % uint64(shards))
+}
+
+// PrefixShardOf returns a stable shard index in [0, shards) keyed by prefix
+// alone. The RIB mirror partitions by prefix (all of a prefix's candidate
+// routes must live in one table for the census to count it once), so its
+// partition function deliberately ignores the peer.
+func PrefixShardOf(p netaddr.Prefix, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := mix64(uint64(p.Addr())<<8 ^ uint64(p.Bits()))
+	return int(h % uint64(shards))
+}
+
+// mix64 is the SplitMix64 finalizer: cheap, stateless, and avalanche-quality
+// enough that consecutive prefixes spread evenly over small shard counts.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -295,14 +295,32 @@ func (c Census) MultihomedShare() float64 {
 // ASes or two distinct origin ASes — i.e. the destination is reachable over
 // more than one provider and the prefix cannot be aggregated away.
 func (r *RIB) TakeCensus() Census {
-	var c Census
-	origins := make(map[bgp.ASN]struct{})
-	paths := make(map[string]struct{})
+	return MergeCensuses(r.TakePartialCensus())
+}
+
+// PartialCensus is the mergeable form of a Census, for tables that hold
+// disjoint prefix partitions of one logical routing table (the parallel
+// pipeline's per-shard RIB mirrors). Prefix-level tallies sum across
+// partitions; origin ASes and AS paths are global distinct-counts, so the
+// partial keeps the sets and MergeCensuses takes the union.
+type PartialCensus struct {
+	Prefixes   int
+	Multihomed int
+	Origins    map[bgp.ASN]struct{}
+	Paths      map[string]struct{}
+}
+
+// TakePartialCensus computes the mergeable census of this table.
+func (r *RIB) TakePartialCensus() PartialCensus {
+	pc := PartialCensus{
+		Origins: make(map[bgp.ASN]struct{}),
+		Paths:   make(map[string]struct{}),
+	}
 	r.table.Walk(func(_ netaddr.Prefix, st *prefixState) bool {
 		if len(st.candidates) == 0 {
 			return true
 		}
-		c.Prefixes++
+		pc.Prefixes++
 		firsts := make(map[bgp.ASN]struct{}, len(st.candidates))
 		origs := make(map[bgp.ASN]struct{}, len(st.candidates))
 		for _, cand := range st.candidates {
@@ -311,15 +329,35 @@ func (r *RIB) TakeCensus() Census {
 			}
 			if o, ok := cand.attrs.Path.Origin(); ok {
 				origs[o] = struct{}{}
-				origins[o] = struct{}{}
+				pc.Origins[o] = struct{}{}
 			}
-			paths[cand.attrs.Path.Key()] = struct{}{}
+			pc.Paths[cand.attrs.Path.Key()] = struct{}{}
 		}
 		if len(firsts) > 1 || len(origs) > 1 {
-			c.Multihomed++
+			pc.Multihomed++
 		}
 		return true
 	})
+	return pc
+}
+
+// MergeCensuses combines partial censuses of disjoint prefix partitions into
+// the Census the undivided table would have produced: prefix counts sum,
+// origin and path sets union.
+func MergeCensuses(parts ...PartialCensus) Census {
+	var c Census
+	origins := make(map[bgp.ASN]struct{})
+	paths := make(map[string]struct{})
+	for _, pc := range parts {
+		c.Prefixes += pc.Prefixes
+		c.Multihomed += pc.Multihomed
+		for o := range pc.Origins {
+			origins[o] = struct{}{}
+		}
+		for p := range pc.Paths {
+			paths[p] = struct{}{}
+		}
+	}
 	c.OriginASes = len(origins)
 	c.UniquePaths = len(paths)
 	return c

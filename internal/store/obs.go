@@ -11,6 +11,9 @@ var (
 		"Records appended through store writers.")
 	obsWALAppendSeconds = obs.Default().Histogram("irtl_store_wal_append_seconds",
 		"WAL group-commit latency (one observation per flush).", nil)
+	obsBatchRecords = obs.Default().Histogram("irtl_store_append_batch_records",
+		"Records per AppendBatch call.",
+		[]float64{1, 8, 32, 128, 512, 2048, 8192})
 	obsWALBytes = obs.Default().Gauge("irtl_store_wal_bytes",
 		"Current WAL size in bytes.")
 	obsMemRecords = obs.Default().Gauge("irtl_store_mem_records",
@@ -44,6 +47,13 @@ var (
 		"Records decoded from scanned blocks.")
 	obsQueryRecordsMatched = obs.Default().Counter("irtl_store_query_records_matched_total",
 		"Records that satisfied the full query predicate.")
+
+	obsParallelScans = obs.Default().Counter("irtl_store_parallel_scans_total",
+		"Queries executed through the parallel scan path.")
+	obsScanWorkers = obs.Default().Gauge("irtl_store_scan_workers",
+		"Decompression workers used by the most recent parallel scan.")
+	obsScanMergeWait = obs.Default().Histogram("irtl_store_scan_merge_wait_seconds",
+		"Time the merge consumer spent waiting for an in-flight block.", nil)
 )
 
 // publishScanStats folds one finished query's pushdown accounting into the

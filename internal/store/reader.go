@@ -29,6 +29,7 @@ type Reader struct {
 	q       Query
 	stats   ScanStats
 	streams recHeap
+	pool    *scanPool // non-nil only for QueryParallel readers
 	closed  bool
 }
 
@@ -73,17 +74,7 @@ func (s *Store) Query(q Query) (*Reader, error) {
 
 	// Snapshot matching memtable records; they sort after sealed segments
 	// on timestamp ties (they are strictly newer appends).
-	var mem []collector.Record
-	for _, mw := range s.mem {
-		for _, rec := range mw.recs {
-			r.stats.MemRecords++
-			if q.match(rec) {
-				mem = append(mem, rec)
-			}
-		}
-	}
-	sort.SliceStable(mem, func(i, j int) bool { return mem[i].Time.Before(mem[j].Time) })
-	if len(mem) > 0 {
+	if mem := s.memSnapshotLocked(q, &r.stats); len(mem) > 0 {
 		ms := &memStream{recs: mem, order: ^uint64(0)}
 		ms.advance()
 		r.streams = append(r.streams, ms)
@@ -106,11 +97,9 @@ func (r *Reader) Next() (collector.Record, error) {
 			return collector.Record{}, err
 		}
 		heap.Fix(&r.streams, 0)
-		if seg, isSeg := st.(*segStream); isSeg {
-			r.stats.RecordsScanned += seg.scanned
-			r.stats.BlocksScanned += seg.blocksRead
-			seg.scanned, seg.blocksRead = 0, 0
-		}
+		scanned, blocks := st.drain()
+		r.stats.RecordsScanned += scanned
+		r.stats.BlocksScanned += blocks
 		if !r.q.match(rec) {
 			continue
 		}
@@ -151,7 +140,29 @@ func (r *Reader) Close() error {
 		st.close()
 	}
 	r.streams = nil
+	if r.pool != nil {
+		// Workers deliver into single-slot buffered channels, so they never
+		// block on abandoned results and the pool drains without a reader.
+		r.pool.shutdown()
+		r.pool = nil
+	}
 	return nil
+}
+
+// memSnapshotLocked copies the memtable records matching q, sorted by time,
+// counting every considered record into stats.MemRecords.
+func (s *Store) memSnapshotLocked(q Query, stats *ScanStats) []collector.Record {
+	var mem []collector.Record
+	for _, mw := range s.mem {
+		for _, rec := range mw.recs {
+			stats.MemRecords++
+			if q.match(rec) {
+				mem = append(mem, rec)
+			}
+		}
+	}
+	sort.SliceStable(mem, func(i, j int) bool { return mem[i].Time.Before(mem[j].Time) })
+	return mem
 }
 
 // candidateBlocks applies segment- and block-level pruning. scan=false means
@@ -199,6 +210,9 @@ type stream interface {
 	advance() error
 	// less orders streams by current head; ties broken by stream order.
 	key() (t int64, order uint64)
+	// drain returns and resets the records/blocks scanned since the last
+	// call, for incremental accounting into Reader.stats.
+	drain() (scanned, blocks int)
 	close()
 }
 
@@ -247,6 +261,12 @@ func (sc *segStream) advance() error {
 
 func (sc *segStream) key() (int64, uint64) { return sc.cur.Time.UnixNano(), sc.order }
 
+func (sc *segStream) drain() (int, int) {
+	s, b := sc.scanned, sc.blocksRead
+	sc.scanned, sc.blocksRead = 0, 0
+	return s, b
+}
+
 func (sc *segStream) close() {
 	if sc.f != nil {
 		sc.f.Close()
@@ -277,6 +297,8 @@ func (ms *memStream) advance() error {
 }
 
 func (ms *memStream) key() (int64, uint64) { return ms.cur.Time.UnixNano(), ms.order }
+
+func (ms *memStream) drain() (int, int) { return 0, 0 }
 
 func (ms *memStream) close() {}
 

@@ -1,0 +1,244 @@
+package store
+
+import (
+	"container/heap"
+	"os"
+	"sync"
+	"time"
+
+	"instability/internal/collector"
+)
+
+// Parallel query execution. QueryParallel produces the exact record sequence
+// of Query — same candidate blocks, same per-segment block order, same heap
+// merge keys — but fans block decompression across a bounded worker pool.
+// The consumer (Reader.Next) stays single-threaded; only the expensive part
+// of a scan, ReadAt + inflate + record decode, runs concurrently.
+//
+// Ordering is preserved by construction rather than by re-sorting: each
+// parSegStream submits its candidate blocks to the pool in block order and
+// keeps a FIFO of single-slot result channels, so blocks are consumed in the
+// order they were submitted no matter which worker finishes first. The merge
+// heap then interleaves streams by (timestamp, segment seq) exactly as the
+// serial path does.
+
+// scanLookahead is how many blocks a stream keeps in flight beyond the one
+// being consumed. Two is enough to hide decompression latency behind the
+// merge without holding many decoded blocks in memory per stream.
+const scanLookahead = 2
+
+type blockTask struct {
+	seg *segment
+	f   *os.File
+	bi  int
+	out chan<- blockResult // cap 1: workers never block on delivery
+}
+
+type blockResult struct {
+	recs []collector.Record
+	err  error
+}
+
+// scanPool is a fixed set of decompression workers shared by all streams of
+// one parallel reader. Each worker owns a blockReader for its lifetime, so
+// buffer reuse needs no per-block pool traffic.
+type scanPool struct {
+	tasks chan blockTask
+	wg    sync.WaitGroup
+}
+
+func newScanPool(workers, queue int) *scanPool {
+	p := &scanPool{tasks: make(chan blockTask, queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			br := blockReaderPool.Get().(*blockReader)
+			defer blockReaderPool.Put(br)
+			for t := range p.tasks {
+				recs, err := t.seg.readBlockWith(br, t.f, t.bi)
+				t.out <- blockResult{recs: recs, err: err}
+			}
+		}()
+	}
+	return p
+}
+
+func (p *scanPool) submit(t blockTask) { p.tasks <- t }
+
+// shutdown stops accepting tasks and waits for the workers to exit. Queued
+// tasks are still executed; their results land in buffered channels nobody
+// reads and are collected with them. A task whose file was already closed
+// fails with os.ErrClosed, which is equally unread — ReadAt on a closed
+// *os.File is defined behavior, not a race.
+func (p *scanPool) shutdown() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// QueryParallel is Query with the segment scan fanned across workers. The
+// result order and ScanStats accounting are identical to Query; workers <= 1
+// (or a scan with at most one candidate block) falls back to the serial
+// reader. The returned Reader must be Closed to release the worker pool.
+func (s *Store) QueryParallel(q Query, workers int) (*Reader, error) {
+	if workers <= 1 {
+		return s.Query(q)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obsQueries.Inc()
+	obsParallelScans.Inc()
+	r := &Reader{q: q}
+	r.stats.SegmentsTotal = len(s.segs)
+	for _, g := range s.segs {
+		r.stats.BlocksTotal += len(g.index.blocks)
+	}
+
+	type candidate struct {
+		seg    *segment
+		blocks []int
+	}
+	var cands []candidate
+	totalBlocks := 0
+	for _, g := range s.segs {
+		blocks, scan := g.candidateBlocks(q)
+		if !scan {
+			continue
+		}
+		r.stats.SegmentsScanned++
+		if len(blocks) == 0 {
+			continue
+		}
+		cands = append(cands, candidate{seg: g, blocks: blocks})
+		totalBlocks += len(blocks)
+	}
+
+	if totalBlocks > 1 {
+		if workers > totalBlocks {
+			workers = totalBlocks
+		}
+		obsScanWorkers.SetInt(int64(workers))
+		r.pool = newScanPool(workers, 2*workers)
+		for _, c := range cands {
+			f, err := os.Open(c.seg.path)
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+			sc := &parSegStream{seg: c.seg, f: f, pool: r.pool, blocks: c.blocks, order: c.seg.seq}
+			sc.fill()
+			if err := sc.advance(); err != nil {
+				sc.close()
+				r.Close()
+				return nil, err
+			}
+			if sc.ok {
+				r.streams = append(r.streams, sc)
+			} else {
+				sc.close()
+			}
+		}
+	} else {
+		// One block total: the pool would only add handoff overhead.
+		for _, c := range cands {
+			f, err := os.Open(c.seg.path)
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+			sc := &segStream{r: r, seg: c.seg, f: f, blocks: c.blocks, order: c.seg.seq}
+			if err := sc.advance(); err != nil {
+				r.Close()
+				return nil, err
+			}
+			if sc.ok {
+				r.streams = append(r.streams, sc)
+			} else {
+				sc.close()
+			}
+		}
+	}
+
+	if mem := s.memSnapshotLocked(q, &r.stats); len(mem) > 0 {
+		ms := &memStream{recs: mem, order: ^uint64(0)}
+		ms.advance()
+		r.streams = append(r.streams, ms)
+	}
+	heap.Init(&r.streams)
+	return r, nil
+}
+
+// parSegStream iterates the candidate blocks of one segment, with the block
+// decompression delegated to the reader's scanPool. All methods run on the
+// merge consumer goroutine; only the pool workers touch the segment file.
+type parSegStream struct {
+	seg     *segment
+	f       *os.File
+	pool    *scanPool
+	blocks  []int
+	nextSub int                 // next index into blocks to submit
+	pending []chan blockResult  // FIFO of in-flight block results
+	recs    []collector.Record
+	ri      int
+	cur     collector.Record
+	ok      bool
+	order   uint64
+
+	scanned    int
+	blocksRead int
+}
+
+// fill tops the in-flight window up to scanLookahead+1 submitted blocks.
+func (sc *parSegStream) fill() {
+	for len(sc.pending) <= scanLookahead && sc.nextSub < len(sc.blocks) {
+		out := make(chan blockResult, 1)
+		sc.pool.submit(blockTask{seg: sc.seg, f: sc.f, bi: sc.blocks[sc.nextSub], out: out})
+		sc.pending = append(sc.pending, out)
+		sc.nextSub++
+	}
+}
+
+func (sc *parSegStream) head() (collector.Record, bool) { return sc.cur, sc.ok }
+
+func (sc *parSegStream) advance() error {
+	for {
+		if sc.ri < len(sc.recs) {
+			sc.cur = sc.recs[sc.ri]
+			sc.ri++
+			sc.ok = true
+			return nil
+		}
+		if len(sc.pending) == 0 {
+			sc.ok = false
+			return nil
+		}
+		t0 := time.Now()
+		res := <-sc.pending[0]
+		obsScanMergeWait.ObserveSince(t0)
+		sc.pending = sc.pending[1:]
+		if res.err != nil {
+			sc.ok = false
+			return res.err
+		}
+		sc.blocksRead++
+		sc.scanned += len(res.recs)
+		sc.recs, sc.ri = res.recs, 0
+		sc.fill()
+	}
+}
+
+func (sc *parSegStream) key() (int64, uint64) { return sc.cur.Time.UnixNano(), sc.order }
+
+func (sc *parSegStream) drain() (int, int) {
+	s, b := sc.scanned, sc.blocksRead
+	sc.scanned, sc.blocksRead = 0, 0
+	return s, b
+}
+
+func (sc *parSegStream) close() {
+	if sc.f != nil {
+		sc.f.Close()
+		sc.f = nil
+	}
+	sc.pending = nil
+}

@@ -1,0 +1,197 @@
+package store
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/collector"
+)
+
+func queryAllParallel(t *testing.T, s *Store, q Query, workers int) ([]collector.Record, ScanStats) {
+	t.Helper()
+	r, err := s.QueryParallel(q, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, r.Stats()
+}
+
+// buildScanStore seals a multi-segment store with some records left
+// unsealed in the memtable, so parallel scans cover every stream kind.
+func buildScanStore(t *testing.T) (*Store, []collector.Record) {
+	t.Helper()
+	recs := hourlyWorkload(6, 300)
+	s, err := Open(t.TempDir(), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	w := s.Writer()
+	sealAt := len(recs) - 200 // tail stays in the memtable
+	for i, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if i == sealAt {
+			if err := w.Seal(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st := s.Stats(); st.Segments < 2 || st.MemRecords == 0 {
+		t.Fatalf("want multi-segment store with unsealed tail, got %+v", st)
+	}
+	return s, recs
+}
+
+// TestQueryParallelEquivalence is the ordered-merge contract: the parallel
+// scan must return exactly the serial reader's record sequence and pushdown
+// accounting, for full scans, indexed queries, and worker counts beyond the
+// block count.
+func TestQueryParallelEquivalence(t *testing.T) {
+	s, recs := buildScanStore(t)
+	queries := []Query{
+		{},
+		{OriginAS: []bgp.ASN{7002}},
+		{PeerAS: []bgp.ASN{101}},
+		{From: recs[200].Time, To: recs[1200].Time},
+	}
+	for qi, q := range queries {
+		want, wantStats := queryAll(t, s, q)
+		for _, workers := range []int{2, 4, 64} {
+			got, gotStats := queryAllParallel(t, s, q, workers)
+			assertSameRecords(t, got, want)
+			if gotStats != wantStats {
+				t.Fatalf("query %d workers %d: stats %+v, serial %+v", qi, workers, gotStats, wantStats)
+			}
+		}
+	}
+}
+
+// TestQueryParallelFallback: one worker must take the serial path, and a
+// query whose pruning leaves nothing must return a clean empty result.
+func TestQueryParallelFallback(t *testing.T) {
+	s, recs := buildScanStore(t)
+	want, _ := queryAll(t, s, Query{})
+	got, _ := queryAllParallel(t, s, Query{}, 1)
+	assertSameRecords(t, got, want)
+
+	empty, st := queryAllParallel(t, s, Query{From: recs[len(recs)-1].Time.Add(48 * time.Hour)}, 4)
+	if len(empty) != 0 || st.BlocksScanned != 0 {
+		t.Fatalf("future-window query returned %d records, stats %+v", len(empty), st)
+	}
+}
+
+// TestQueryParallelEarlyClose closes a parallel reader mid-stream: the
+// worker pool must drain without the consumer, and the store must remain
+// fully queryable afterwards.
+func TestQueryParallelEarlyClose(t *testing.T) {
+	s, recs := buildScanStore(t)
+	r, err := s.QueryParallel(Query{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		// A closed reader has no streams left; Next must report EOF.
+		t.Fatalf("Next after Close: %v", err)
+	}
+	got, _ := queryAllParallel(t, s, Query{}, 4)
+	assertSameRecords(t, got, recs)
+}
+
+// TestAppendBatch checks that batched ingest is byte-equivalent to
+// record-at-a-time ingest: same query results before sealing (memtable +
+// WAL path) and after (segment path), same writer accounting.
+func TestAppendBatch(t *testing.T) {
+	recs := hourlyWorkload(3, 250)
+
+	single, err := Open(t.TempDir(), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	sw := single.Writer()
+	for _, rec := range recs {
+		if err := sw.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batched, err := Open(t.TempDir(), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batched.Close()
+	bw := batched.Writer()
+	for i := 0; i < len(recs); i += 97 { // deliberately unaligned batches
+		end := i + 97
+		if end > len(recs) {
+			end = len(recs)
+		}
+		if err := bw.AppendBatch(recs[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sw.Count() != bw.Count() {
+		t.Fatalf("appended %d batched vs %d single", bw.Count(), sw.Count())
+	}
+
+	// Unsealed: everything visible from the memtable.
+	gotMem, _ := queryAll(t, batched, Query{})
+	wantMem, _ := queryAll(t, single, Query{})
+	assertSameRecords(t, gotMem, wantMem)
+
+	// Sealed: identical segment contents.
+	if err := sw.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := queryAll(t, batched, Query{})
+	want, _ := queryAll(t, single, Query{})
+	assertSameRecords(t, got, want)
+}
+
+// TestAppendBatchDurability: a batch followed by Flush must survive a crash
+// (reopen without Seal or Close) through WAL replay.
+func TestAppendBatchDurability(t *testing.T) {
+	recs := hourlyWorkload(1, 120)
+	dir := t.TempDir()
+	s, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.Writer()
+	if err := w.AppendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: the handle is abandoned; nothing is sealed or closed.
+	_ = s
+
+	re, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, _ := queryAll(t, re, Query{})
+	assertSameRecords(t, got, recs)
+}

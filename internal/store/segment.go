@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"instability/internal/collector"
@@ -254,23 +255,54 @@ func openSegment(path string) (*segment, error) {
 	return g, nil
 }
 
+// blockReader is the reusable scratch state for decompressing one segment
+// block: the compressed-bytes buffer, a resettable source reader, the
+// inflate output buffer, and the flate reader itself. Decoded records never
+// alias these buffers (record decoding copies paths and communities out), so
+// a blockReader can be recycled the moment readBlockWith returns.
+type blockReader struct {
+	cb  []byte
+	src bytes.Reader
+	raw bytes.Buffer
+	fr  io.ReadCloser // always implements flate.Resetter
+}
+
+var blockReaderPool = sync.Pool{New: func() any { return new(blockReader) }}
+
 // readBlock decompresses and decodes block bi of the segment from f.
 func (g *segment) readBlock(f *os.File, bi int) ([]collector.Record, error) {
+	br := blockReaderPool.Get().(*blockReader)
+	defer blockReaderPool.Put(br)
+	return g.readBlockWith(br, f, bi)
+}
+
+// readBlockWith is readBlock against caller-owned scratch state; the
+// parallel scan workers each hold one blockReader for their whole lifetime.
+// f must support concurrent ReadAt (os.File does).
+func (g *segment) readBlockWith(br *blockReader, f *os.File, bi int) ([]collector.Record, error) {
 	bm := g.index.blocks[bi]
-	cb := make([]byte, bm.clen)
+	if cap(br.cb) < int(bm.clen) {
+		br.cb = make([]byte, bm.clen)
+	}
+	cb := br.cb[:bm.clen]
 	if _, err := f.ReadAt(cb, bm.offset); err != nil {
 		return nil, err
 	}
-	fr := flate.NewReader(bytes.NewReader(cb))
-	raw := make([]byte, 0, bm.ulen)
-	rbuf := bytes.NewBuffer(raw)
-	if _, err := io.Copy(rbuf, fr); err != nil {
-		return nil, fmt.Errorf("%w: block %d: %v", ErrCorrupt, bi, err)
-	}
-	if err := fr.Close(); err != nil {
+	br.src.Reset(cb)
+	if br.fr == nil {
+		br.fr = flate.NewReader(&br.src)
+	} else if err := br.fr.(flate.Resetter).Reset(&br.src, nil); err != nil {
 		return nil, err
 	}
-	b := rbuf.Bytes()
+	br.raw.Reset()
+	br.raw.Grow(int(bm.ulen))
+	if _, err := io.Copy(&br.raw, br.fr); err != nil {
+		return nil, fmt.Errorf("%w: block %d: %v", ErrCorrupt, bi, err)
+	}
+	if err := br.fr.Close(); err != nil {
+		return nil, err
+	}
+	b := br.raw.Bytes()
 	recs := make([]collector.Record, 0, bm.count)
 	prev := bm.minTime
 	for i := int32(0); i < bm.count; i++ {

@@ -29,6 +29,37 @@ func (w *Writer) Append(rec collector.Record) error {
 	if s.closed {
 		return fmt.Errorf("store: writer used after Close")
 	}
+	if err := w.appendLocked(rec); err != nil {
+		return err
+	}
+	return w.maintainLocked()
+}
+
+// AppendBatch logs a batch of records under one lock acquisition and at most
+// one WAL group commit, however large the batch. For bulk ingest this is the
+// fast path: the per-record cost drops to frame encoding plus one memtable
+// append, with lock traffic, flush checks, and fsyncs paid once per batch.
+func (w *Writer) AppendBatch(recs []collector.Record) error {
+	s := w.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: writer used after Close")
+	}
+	for _, rec := range recs {
+		if err := w.appendLocked(rec); err != nil {
+			return err
+		}
+	}
+	if len(recs) > 0 {
+		obsBatchRecords.Observe(float64(len(recs)))
+	}
+	return w.maintainLocked()
+}
+
+// appendLocked encodes one record into the pending WAL buffer and memtable.
+func (w *Writer) appendLocked(rec collector.Record) error {
+	s := w.s
 	window := s.windowStart(rec.Time)
 	mw := s.mem[window]
 	if mw == nil {
@@ -46,6 +77,12 @@ func (w *Writer) Append(rec collector.Record) error {
 	s.memN++
 	w.appended++
 	obsAppends.Inc()
+	return nil
+}
+
+// maintainLocked applies the flush and auto-seal policies after appends.
+func (w *Writer) maintainLocked() error {
+	s := w.s
 	obsMemRecords.SetInt(int64(s.memN))
 	if w.pendingN >= s.opts.FlushEvery {
 		if err := w.flushLocked(); err != nil {
@@ -59,23 +96,40 @@ func (w *Writer) Append(rec collector.Record) error {
 }
 
 // AppendAll appends every record from a stream (e.g. a collector log being
-// ingested) and returns the number appended.
+// ingested) and returns the number appended. Records are coalesced into
+// AppendBatch-sized groups so the stream gets batched WAL commits for free.
 func (w *Writer) AppendAll(r collector.RecordReader) (int, error) {
 	n := 0
+	batch := make([]collector.Record, 0, appendAllBatch)
 	for {
 		rec, err := r.Next()
 		if err != nil {
 			if err == io.EOF {
+				if len(batch) > 0 {
+					if berr := w.AppendBatch(batch); berr != nil {
+						return n, berr
+					}
+					n += len(batch)
+				}
 				return n, nil
 			}
 			return n, err
 		}
-		if err := w.Append(rec); err != nil {
-			return n, err
+		batch = append(batch, rec)
+		if len(batch) == cap(batch) {
+			if err := w.AppendBatch(batch); err != nil {
+				return n, err
+			}
+			n += len(batch)
+			batch = batch[:0]
 		}
-		n++
 	}
 }
+
+// appendAllBatch is the record group size AppendAll hands to AppendBatch —
+// aligned with the default segment block size so one ingest batch fills one
+// compression block.
+const appendAllBatch = 512
 
 // nextWindowSeqLocked returns the first free sequence number of a window the
 // memtable has no entry for: one past whatever is already sealed.

@@ -28,6 +28,22 @@ type Generator struct {
 	statelessPeers []peerInfo
 
 	stats Stats
+
+	// Per-day scratch buffers, reused across generateDay calls so steady-
+	// state emission does not reallocate the day's record and event slices.
+	// None of this affects the RNG call sequence: reuse changes where bytes
+	// land, never how many variates are drawn.
+	dayBuf     []collector.Record
+	cumBuf     []float64
+	eventBuf   []pendingEvent
+	propensity map[bgp.ASN]float64
+}
+
+// pendingEvent is one drawn-but-not-yet-expanded instability event.
+type pendingEvent struct {
+	idx    int
+	t      time.Time
+	policy bool
 }
 
 type peerInfo struct {
@@ -43,6 +59,12 @@ type routeState struct {
 	cur      int
 	up       bool
 	policyC  uint16
+	// comm caches the Communities slice for the current policyC. Records
+	// share it read-only, so it is replaced (never mutated) when the policy
+	// counter moves — one allocation per policy change instead of one per
+	// announcement.
+	comm []bgp.Community
+	commPolicy uint16
 }
 
 // Stats summarizes a run.
@@ -134,7 +156,11 @@ func (g *Generator) announce(st *routeState, t time.Time) collector.Record {
 		NextHop: st.route.PeerAddr,
 	}
 	if st.policyC > 0 {
-		attrs.Communities = []bgp.Community{bgp.Community(uint32(st.route.PeerAS)<<16 | uint32(st.policyC))}
+		if st.comm == nil || st.commPolicy != st.policyC {
+			st.comm = []bgp.Community{bgp.Community(uint32(st.route.PeerAS)<<16 | uint32(st.policyC))}
+			st.commPolicy = st.policyC
+		}
+		attrs.Communities = st.comm
 	}
 	return collector.Record{
 		Time: t, Type: collector.Announce,
@@ -152,11 +178,14 @@ func (g *Generator) withdraw(st *routeState, t time.Time) collector.Record {
 	}
 }
 
-// generateDay produces one day of records.
+// generateDay produces one day of records. The returned slice is valid until
+// the next generateDay call: its backing array is reused day over day (the
+// records themselves are consumed by value before the next day is built).
 func (g *Generator) generateDay(day int) []collector.Record {
 	cfg := g.cfg
 	dayStart := cfg.Start.AddDate(0, 0, day)
-	var recs []collector.Record
+	recs := g.dayBuf[:0]
+	defer func() { g.dayBuf = recs[:0] }()
 
 	// Day 0 opens with the initial table transfer.
 	if day == 0 {
@@ -221,11 +250,19 @@ func (g *Generator) generateDay(day int) []collector.Record {
 	// route sets far noisier than others on any given day (the paper's
 	// Figure 6 finds no size correlation). Model this with a heavy-tailed
 	// per-peer propensity redrawn daily.
-	propensity := make(map[bgp.ASN]float64)
+	if g.propensity == nil {
+		g.propensity = make(map[bgp.ASN]float64)
+	} else {
+		clear(g.propensity)
+	}
+	propensity := g.propensity
 	for _, peer := range g.topo.Exchange(cfg.Exchange).Peers {
 		propensity[peer] = math.Exp(g.rng.NormFloat64() * 1.1)
 	}
-	cum := make([]float64, len(g.routes))
+	if cap(g.cumBuf) < len(g.routes) {
+		g.cumBuf = make([]float64, len(g.routes))
+	}
+	cum := g.cumBuf[:len(g.routes)]
 	total := 0.0
 	for i, st := range g.routes {
 		total += propensity[st.route.PeerAS]
@@ -247,23 +284,18 @@ func (g *Generator) generateDay(day int) []collector.Record {
 
 	// Draw the day's events first, then expand them in time order so each
 	// route's state transitions follow the clock.
-	type pending struct {
-		idx    int
-		t      time.Time
-		policy bool
-	}
 	nEvents := g.poisson(cfg.EventsPerRouteDay * float64(len(g.routes)) * dayFactor)
 	nPolicy := g.poisson(cfg.PolicyPerRouteDay * float64(len(g.routes)) * dayFactor)
-	events := make([]pending, 0, nEvents+nPolicy)
+	events := g.eventBuf[:0]
 	for i := 0; i < nEvents; i++ {
 		idx := pickRoute()
 		t := g.quantize(g.routes[idx], g.sampleTime(dayStart, slotW))
-		events = append(events, pending{idx: idx, t: t})
+		events = append(events, pendingEvent{idx: idx, t: t})
 	}
 	for i := 0; i < nPolicy; i++ {
 		idx := pickRoute()
 		t := g.quantize(g.routes[idx], g.sampleTime(dayStart, slotW))
-		events = append(events, pending{idx: idx, t: t, policy: true})
+		events = append(events, pendingEvent{idx: idx, t: t, policy: true})
 	}
 	sort.Slice(events, func(i, j int) bool { return events[i].t.Before(events[j].t) })
 	for _, ev := range events {
@@ -276,8 +308,9 @@ func (g *Generator) generateDay(day int) []collector.Record {
 			recs = append(recs, g.announce(st, ev.t))
 			continue
 		}
-		recs = append(recs, g.eventPattern(st, ev.t, dayStart)...)
+		recs = g.eventPattern(st, ev.t, dayStart, recs)
 	}
+	g.eventBuf = events[:0]
 
 	// Pathological flood (the ISP-I episode): one stateless provider
 	// repeatedly withdraws a large set of prefixes it never announced, on a
@@ -320,10 +353,9 @@ func (g *Generator) generateDay(day int) []collector.Record {
 }
 
 // eventPattern expands one exogenous event into its observed update
-// sequence, including pathological amplification.
-func (g *Generator) eventPattern(st *routeState, t time.Time, dayStart time.Time) []collector.Record {
+// sequence, including pathological amplification, appending onto out.
+func (g *Generator) eventPattern(st *routeState, t time.Time, dayStart time.Time, out []collector.Record) []collector.Record {
 	cfg := g.cfg
-	var out []collector.Record
 	end := dayStart.Add(24*time.Hour - time.Second)
 	clamp := func(x time.Time) time.Time {
 		if x.After(end) {

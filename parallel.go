@@ -1,0 +1,437 @@
+package instability
+
+import (
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"instability/internal/collector"
+	"instability/internal/core"
+	"instability/internal/obs"
+	"instability/internal/rib"
+	"instability/internal/workload"
+)
+
+// ParallelPipeline is the sharded form of Pipeline: records are
+// hash-partitioned by the classifier's (peer, prefix) state key across N
+// worker shards, each owning a private Classifier, Accumulator, and RIB
+// partition, fed through bounded channels in multi-record batches. Because
+// classification history never crosses a (peer, prefix) key and RIB state
+// never crosses a prefix, the shards share nothing on the hot path; EndDay
+// is the only barrier, where per-shard day statistics are merged so the
+// published results are identical to what the serial Pipeline produces from
+// the same stream.
+//
+// The feeder side (Feed, FeedBatch, EndDay, Close) must be used from one
+// goroutine, exactly like the serial Pipeline. The Events hook, when set,
+// runs on shard goroutines: it is called concurrently, in per-key order
+// only.
+type ParallelPipeline struct {
+	// Acc holds the merged per-day statistics. It is complete up to the
+	// last EndDay/Close barrier; between barriers, newly fed records live
+	// in the shards' private accumulators.
+	Acc *core.Accumulator
+	// CensusByDay snapshots the merged table census at each day end.
+	CensusByDay map[core.Date]rib.Census
+	// Events, when set before the first Feed, observes every classified
+	// event. Called from shard goroutines: concurrently across keys, in
+	// order within one (peer, prefix) key.
+	Events func(core.Event)
+
+	shards    []*shard
+	batches   [][]shardRec
+	batchSize int
+	peaks     map[core.Date]*peakTrack
+	closed    bool
+}
+
+// ParallelConfig tunes a ParallelPipeline. The zero value is usable.
+type ParallelConfig struct {
+	// Shards is the number of worker shards. Default GOMAXPROCS.
+	Shards int
+	// BatchSize is the number of records buffered per shard before the
+	// batch is handed to the shard's channel; batching amortizes channel
+	// and scheduling overhead across the hot per-record work. Default 256.
+	BatchSize int
+	// Queue is the per-shard channel capacity in batches (the bound on
+	// in-flight work, and the backpressure point). Default 4.
+	Queue int
+}
+
+func (c ParallelConfig) withDefaults() ParallelConfig {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4
+	}
+	return c
+}
+
+// shardRec is one routed record: the same record can be routed to one shard
+// for classification (keyed by peer+prefix) and another for the RIB mirror
+// (keyed by prefix alone); when both hashes agree it travels once with both
+// flags set.
+type shardRec struct {
+	rec      collector.Record
+	classify bool
+	table    bool
+}
+
+// shardMsg is either a data batch (recs != nil) or an EndDay/Sync barrier.
+type shardMsg struct {
+	recs    []shardRec
+	barrier *barrierReq
+}
+
+// barrierReq asks a shard to hand off its accumulator (optionally after an
+// EndDay snapshot and a census) and start a fresh one.
+type barrierReq struct {
+	day      core.Date
+	snapshot bool // call Accumulator.EndDay(classifier, day) first
+	census   bool // include a partial census of the shard's RIB
+	out      chan shardHandoff
+}
+
+// shardHandoff is what a shard surrenders at a barrier. The accumulator's
+// ownership transfers to the feeder, so the merge runs without locks.
+type shardHandoff struct {
+	acc    *core.Accumulator
+	census rib.PartialCensus
+}
+
+type shard struct {
+	cls   *core.Classifier
+	acc   *core.Accumulator
+	table *rib.RIB
+	in    chan shardMsg
+	done  chan struct{}
+}
+
+// peakTrack reproduces the serial Accumulator's burst accounting on the
+// undivided stream: PeakSecond is the one statistic a shard cannot compute
+// locally (each shard sees only its share of any second), so the feeder —
+// which still sees every record in time order — tracks it exactly and
+// patches it over the merged per-day stats.
+type peakTrack struct {
+	curSec int64
+	cur    int
+	peak   int
+}
+
+// Parallel pipeline instrumentation.
+var (
+	obsParShards = obs.Default().Gauge("irtl_parallel_shards",
+		"Worker shards of the most recently created parallel pipeline.")
+	obsParBatches = obs.Default().Counter("irtl_parallel_batches_total",
+		"Record batches dispatched to pipeline shards.")
+	obsParBatchRecords = obs.Default().Histogram("irtl_parallel_batch_records",
+		"Records per dispatched batch.",
+		[]float64{1, 4, 16, 64, 128, 256, 512, 1024})
+	obsParMergeWait = obs.Default().Histogram("irtl_parallel_merge_wait_seconds",
+		"Feeder wait at the EndDay barrier, from first flush to last shard handoff.", nil)
+	obsParMerge = obs.Default().Histogram("irtl_parallel_merge_seconds",
+		"Time to merge all shard accumulators into the master at a barrier.", nil)
+)
+
+// NewParallelPipeline returns a running sharded pipeline. Close must be
+// called to stop the shard goroutines (Close also performs a final merge).
+func NewParallelPipeline(cfg ParallelConfig) *ParallelPipeline {
+	cfg = cfg.withDefaults()
+	pp := &ParallelPipeline{
+		Acc:         core.NewAccumulator(),
+		CensusByDay: make(map[core.Date]rib.Census),
+		shards:      make([]*shard, cfg.Shards),
+		batches:     make([][]shardRec, cfg.Shards),
+		batchSize:   cfg.BatchSize,
+		peaks:       make(map[core.Date]*peakTrack),
+	}
+	obsParShards.SetInt(int64(cfg.Shards))
+	for i := range pp.shards {
+		sh := &shard{
+			cls:   core.NewClassifier(),
+			acc:   core.NewAccumulator(),
+			table: rib.New(0),
+			in:    make(chan shardMsg, cfg.Queue),
+			done:  make(chan struct{}),
+		}
+		pp.shards[i] = sh
+		// Queue depth is read at exposition time, so a scrape during a
+		// replay shows where backpressure sits without touching the feeder.
+		obs.Default().GaugeFunc("irtl_parallel_queue_depth",
+			"Batches queued per pipeline shard.",
+			func() float64 { return float64(len(sh.in)) },
+			obs.L("shard", strconv.Itoa(i)))
+		go sh.run(pp)
+	}
+	return pp
+}
+
+// run is the shard worker loop. It owns the shard's classifier, accumulator,
+// and RIB partition exclusively between barriers. pp.Events is read here
+// per event: the write in the feeder happens before the first batch send,
+// which happens before this read, so the hook may be assigned any time up
+// to the first Feed.
+func (sh *shard) run(pp *ParallelPipeline) {
+	defer close(sh.done)
+	for msg := range sh.in {
+		if msg.recs != nil {
+			for i := range msg.recs {
+				sr := &msg.recs[i]
+				if sr.classify {
+					ev := sh.cls.Classify(sr.rec)
+					sh.acc.Add(ev)
+					if pp.Events != nil {
+						pp.Events(ev)
+					}
+				}
+				if sr.table {
+					peer := rib.PeerID{AS: sr.rec.PeerAS, ID: sr.rec.PeerAddr}
+					switch sr.rec.Type {
+					case collector.Announce:
+						sh.table.Update(peer, sr.rec.Prefix, sr.rec.Attrs)
+					case collector.Withdraw:
+						sh.table.Withdraw(peer, sr.rec.Prefix)
+					}
+				}
+			}
+			batchPool.Put(msg.recs[:0])
+			continue
+		}
+		req := msg.barrier
+		if req.snapshot {
+			sh.acc.EndDay(sh.cls, req.day)
+		}
+		h := shardHandoff{acc: sh.acc}
+		if req.census {
+			h.census = sh.table.TakePartialCensus()
+		}
+		sh.acc = core.NewAccumulator()
+		req.out <- h
+	}
+}
+
+// batchPool recycles routed-record batch slices between the feeder and the
+// shard workers, so steady-state feeding allocates nothing per batch.
+var batchPool = sync.Pool{New: func() any { return []shardRec(nil) }}
+
+func getBatch(n int) []shardRec {
+	b := batchPool.Get().([]shardRec)
+	if cap(b) < n {
+		b = make([]shardRec, 0, n)
+	}
+	return b
+}
+
+// Feed routes one record to its shard(s). Results become visible in Acc at
+// the next EndDay or Close barrier.
+func (pp *ParallelPipeline) Feed(rec collector.Record) {
+	pp.trackPeak(rec)
+	n := len(pp.shards)
+	cs := core.ShardOf(rec, n)
+	sr := shardRec{rec: rec, classify: true}
+	rs := -1
+	if rec.Type == collector.Announce || rec.Type == collector.Withdraw {
+		rs = core.PrefixShardOf(rec.Prefix, n)
+		if rs == cs {
+			sr.table = true
+		}
+	}
+	pp.route(cs, sr)
+	if rs >= 0 && rs != cs {
+		pp.route(rs, shardRec{rec: rec, table: true})
+	}
+}
+
+// FeedBatch routes a slice of records; it is Feed amortized over the loop.
+func (pp *ParallelPipeline) FeedBatch(recs []collector.Record) {
+	for _, rec := range recs {
+		pp.Feed(rec)
+	}
+}
+
+// route appends one routed record to shard i's pending batch, dispatching
+// the batch when full.
+func (pp *ParallelPipeline) route(i int, sr shardRec) {
+	if pp.batches[i] == nil {
+		pp.batches[i] = getBatch(pp.batchSize)
+	}
+	pp.batches[i] = append(pp.batches[i], sr)
+	if len(pp.batches[i]) >= pp.batchSize {
+		pp.dispatch(i)
+	}
+}
+
+// dispatch hands shard i's pending batch to its channel.
+func (pp *ParallelPipeline) dispatch(i int) {
+	b := pp.batches[i]
+	if len(b) == 0 {
+		return
+	}
+	obsParBatches.Inc()
+	obsParBatchRecords.Observe(float64(len(b)))
+	pp.batches[i] = nil
+	pp.shards[i].in <- shardMsg{recs: b}
+}
+
+// Flush dispatches all partially filled batches without a barrier.
+func (pp *ParallelPipeline) Flush() {
+	for i := range pp.shards {
+		pp.dispatch(i)
+	}
+}
+
+// trackPeak maintains the exact per-day peak-second count on the undivided
+// stream (see peakTrack).
+func (pp *ParallelPipeline) trackPeak(rec collector.Record) {
+	sec := rec.Time.Unix()
+	d := core.DateOf(rec.Time)
+	pk := pp.peaks[d]
+	if pk == nil {
+		pk = &peakTrack{}
+		pp.peaks[d] = pk
+	}
+	if sec != pk.curSec {
+		pk.curSec, pk.cur = sec, 0
+	}
+	pk.cur++
+	if pk.cur > pk.peak {
+		pk.peak = pk.cur
+	}
+}
+
+// barrier flushes pending batches, collects every shard's accumulator (and
+// optionally EndDay snapshot + census), merges them into Acc, and patches
+// the exact peak-second counts.
+func (pp *ParallelPipeline) barrier(day core.Date, snapshot, census bool) []rib.PartialCensus {
+	pp.Flush()
+	t0 := time.Now()
+	out := make(chan shardHandoff, len(pp.shards))
+	req := &barrierReq{day: day, snapshot: snapshot, census: census, out: out}
+	for _, sh := range pp.shards {
+		sh.in <- shardMsg{barrier: req}
+	}
+	handoffs := make([]shardHandoff, 0, len(pp.shards))
+	for range pp.shards {
+		handoffs = append(handoffs, <-out)
+	}
+	obsParMergeWait.ObserveSince(t0)
+	t1 := time.Now()
+	var parts []rib.PartialCensus
+	for _, h := range handoffs {
+		pp.Acc.Merge(h.acc)
+		if census {
+			parts = append(parts, h.census)
+		}
+	}
+	for d, pk := range pp.peaks {
+		if ds := pp.Acc.Days[d]; ds != nil {
+			ds.PeakSecond = pk.peak
+		}
+	}
+	obsParMerge.ObserveSince(t1)
+	return parts
+}
+
+// EndDay is the serial Pipeline.EndDay made into a barrier: all shards
+// flush, snapshot their routing-table shares for date, and surrender their
+// day statistics, which are merged so that Acc and CensusByDay match the
+// serial pipeline bit for bit.
+func (pp *ParallelPipeline) EndDay(date core.Date) {
+	parts := pp.barrier(date, true, true)
+	pp.CensusByDay[date] = rib.MergeCensuses(parts...)
+}
+
+// Sync flushes and merges without taking a day snapshot, making Acc current
+// with everything fed so far.
+func (pp *ParallelPipeline) Sync() {
+	pp.barrier(0, false, false)
+}
+
+// Close merges any remaining shard state and stops the shard goroutines.
+// The pipeline must not be fed after Close.
+func (pp *ParallelPipeline) Close() {
+	if pp.closed {
+		return
+	}
+	pp.closed = true
+	pp.Sync()
+	for _, sh := range pp.shards {
+		close(sh.in)
+	}
+	for _, sh := range pp.shards {
+		<-sh.done
+	}
+}
+
+// TotalActive returns the number of (peer, prefix) pairs currently announced
+// across all shards' classifiers. Unlike the merged statistics it reads live
+// shard state, so call it only at a quiescent point (after EndDay/Sync).
+func (pp *ParallelPipeline) TotalActive() int {
+	n := 0
+	for _, sh := range pp.shards {
+		n += sh.cls.TotalActive()
+	}
+	return n
+}
+
+// Census merges a table census over all shards' RIB partitions — the
+// parallel equivalent of Pipeline.Table.TakeCensus(). Like TotalActive it
+// reads live shard state, so call it only at a quiescent point (after
+// EndDay, Sync, or Close).
+func (pp *ParallelPipeline) Census() rib.Census {
+	parts := make([]rib.PartialCensus, 0, len(pp.shards))
+	for _, sh := range pp.shards {
+		parts = append(parts, sh.table.TakePartialCensus())
+	}
+	return rib.MergeCensuses(parts...)
+}
+
+// RunScenarioParallel is RunScenario over a sharded pipeline: the generated
+// stream is fed through pp with a day barrier at each day end. The caller
+// still owns pp and should Close it when done feeding.
+func RunScenarioParallel(cfg workload.Config, pp *ParallelPipeline) (workload.Stats, *workload.Generator, error) {
+	g, err := workload.New(cfg)
+	if err != nil {
+		return workload.Stats{}, nil, err
+	}
+	stats := g.Run(
+		func(rec collector.Record) { pp.Feed(rec) },
+		func(day int, end time.Time) { pp.EndDay(core.DateOf(end.Add(-time.Second))) },
+	)
+	return stats, g, nil
+}
+
+// ClassifyLogParallel is ClassifyLog over a sharded pipeline: records stream
+// through pp with a barrier at each date boundary. It returns the number of
+// records read. The caller still owns pp and should Close it when done.
+func ClassifyLogParallel(r collector.RecordReader, pp *ParallelPipeline) (int, error) {
+	n := 0
+	var cur core.Date
+	haveDay := false
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		d := core.DateOf(rec.Time)
+		if haveDay && d != cur {
+			pp.EndDay(cur)
+		}
+		cur, haveDay = d, true
+		pp.Feed(rec)
+		n++
+	}
+	if haveDay {
+		pp.EndDay(cur)
+	}
+	return n, nil
+}
