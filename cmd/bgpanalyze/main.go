@@ -24,6 +24,7 @@ import (
 	"instability"
 	"instability/internal/collector"
 	"instability/internal/core"
+	"instability/internal/intern"
 	"instability/internal/obs"
 	"instability/internal/report"
 	"instability/internal/rib"
@@ -125,7 +126,12 @@ func main() {
 	if exchangeName == "" {
 		exchangeName = "MRT"
 	}
-	fmt.Printf("classified %d records from %s (%s)\n\n", n, source, exchangeName)
+	fmt.Printf("classified %d records from %s (%s)\n", n, source, exchangeName)
+	if hits, misses, paths := intern.Stats(); hits+misses > 0 {
+		fmt.Printf("attr intern: %.1f%% hit rate (%d lookups, %d unique tuples, %d unique paths)\n",
+			100*float64(hits)/float64(hits+misses), hits+misses, misses, paths)
+	}
+	fmt.Println()
 
 	table1Day := busiestDay(acc)
 	if *day != "" {

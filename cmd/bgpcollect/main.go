@@ -29,6 +29,7 @@ import (
 	"instability/internal/bgp"
 	"instability/internal/collector"
 	"instability/internal/core"
+	"instability/internal/intern"
 	"instability/internal/netaddr"
 	"instability/internal/obs"
 	"instability/internal/session"
@@ -247,6 +248,10 @@ func main() {
 	if db != nil {
 		st := db.Stats()
 		fmt.Printf("store %s: %d records in %d segments\n", *storeDir, st.Records, st.Segments)
+	}
+	if hits, misses, _ := intern.Stats(); hits+misses > 0 {
+		fmt.Printf("attr intern: %.1f%% hit rate (%d lookups, %d unique tuples)\n",
+			100*float64(hits)/float64(hits+misses), hits+misses, misses)
 	}
 	if tot := acc.TotalCounts(); acc.TotalEvents() > 0 {
 		var parts []string

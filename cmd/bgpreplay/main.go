@@ -27,6 +27,7 @@ import (
 
 	"instability/internal/bgp"
 	"instability/internal/collector"
+	"instability/internal/intern"
 	"instability/internal/netaddr"
 	"instability/internal/obs"
 	"instability/internal/session"
@@ -155,6 +156,10 @@ func main() {
 	runner.Close()
 	<-done
 	fmt.Printf("replayed %d records\n", sent)
+	if hits, misses, _ := intern.Stats(); hits+misses > 0 {
+		fmt.Printf("attr intern: %.1f%% hit rate (%d lookups, %d unique tuples)\n",
+			100*float64(hits)/float64(hits+misses), hits+misses, misses)
+	}
 }
 
 // openInput returns the record source: a flat log (native or MRT) for -in,

@@ -218,7 +218,7 @@ func cmdStats(args []string) {
 	s := openStore(*dir, 0, 0)
 	defer s.Close()
 	st := s.Stats()
-	fmt.Printf("segments      %d\n", st.Segments)
+	fmt.Printf("segments      %d (%d v1 inline, %d v2 dictionary)\n", st.Segments, st.SegmentsV1, st.SegmentsV2)
 	fmt.Printf("blocks        %d\n", st.Blocks)
 	fmt.Printf("records       %d sealed, %d unsealed\n", st.Records, st.MemRecords)
 	fmt.Printf("time windows  %d\n", st.Windows)

@@ -5,6 +5,7 @@ import (
 
 	"instability/internal/bgp"
 	"instability/internal/collector"
+	"instability/internal/intern"
 	"instability/internal/netaddr"
 )
 
@@ -32,7 +33,11 @@ type stateKey struct {
 type routeState struct {
 	announced bool
 	ever      bool
-	last      bgp.Attrs
+	// last is the interned handle of the previous announcement's attributes:
+	// the AADup/WADup comparisons against it are pointer and integer
+	// compares, and the state holds no per-key copy of path or community
+	// slices.
+	last *intern.Handle
 	// lastEvent[c] is the time of the previous class-c event, for
 	// inter-arrival analysis.
 	lastEvent [NumClasses]time.Time
@@ -71,6 +76,11 @@ type Classifier struct {
 	// active tracks how many prefixes each peer currently announces — the
 	// per-peer routing table share of Figure 6.
 	active map[PeerKey]int
+	// tab interns every announcement's attribute tuple. The duplicate-
+	// dominated stream means almost every lookup is a hit returning a shared
+	// handle; the table is private to this classifier, so the parallel
+	// pipeline's per-shard classifiers never share interner state.
+	tab *intern.Table
 }
 
 // NewClassifier returns an empty classifier.
@@ -78,8 +88,13 @@ func NewClassifier() *Classifier {
 	return &Classifier{
 		states: make(map[stateKey]*routeState),
 		active: make(map[PeerKey]int),
+		tab:    intern.New(),
 	}
 }
+
+// Interner exposes the classifier's private attribute table (hit-rate
+// accounting, tests).
+func (c *Classifier) Interner() *intern.Table { return c.tab }
 
 // Classify processes one record and returns its event.
 func (c *Classifier) Classify(rec collector.Record) Event {
@@ -100,16 +115,20 @@ func (c *Classifier) Classify(rec collector.Record) Event {
 
 	switch rec.Type {
 	case collector.Announce:
+		// One intern lookup replaces every deep comparison below: handle
+		// pointer equality is PolicyEqual, (NextHop, PathID) equality is
+		// ForwardingEqual.
+		h := c.tab.Attrs(rec.Attrs)
 		switch {
 		case st.announced:
-			if st.last.ForwardingEqual(rec.Attrs) {
+			if intern.ForwardingEqual(st.last, h) {
 				ev.Class = AADup
-				ev.PolicyShift = !st.last.PolicyEqual(rec.Attrs)
+				ev.PolicyShift = st.last != h
 			} else {
 				ev.Class = AADiff
 			}
 		case st.ever:
-			if st.last.ForwardingEqual(rec.Attrs) {
+			if intern.ForwardingEqual(st.last, h) {
 				ev.Class = WADup
 			} else {
 				ev.Class = WADiff
@@ -120,7 +139,7 @@ func (c *Classifier) Classify(rec collector.Record) Event {
 		if !st.announced {
 			c.active[key.peer]++
 		}
-		st.announced, st.ever, st.last = true, true, rec.Attrs
+		st.announced, st.ever, st.last = true, true, h
 
 	case collector.Withdraw:
 		if st.announced {

@@ -316,6 +316,10 @@ func (a *Accumulator) EndDay(c *Classifier, d Date) {
 	for _, n := range s.PeerTable {
 		s.TotalTable += n
 	}
+	// Day boundaries are the natural publication points for the interner's
+	// batched hit/miss tallies: short runs never reach the batch threshold,
+	// so without this the process-wide intern.Stats() would read zero.
+	c.Interner().FlushStats()
 }
 
 // Dates returns the days present, sorted.

@@ -1,0 +1,157 @@
+package intern
+
+import (
+	"testing"
+
+	"instability/internal/bgp"
+	"instability/internal/netaddr"
+)
+
+func attrs(nextHop string, path bgp.ASPath, comms ...bgp.Community) bgp.Attrs {
+	return bgp.Attrs{
+		Origin:      bgp.OriginIGP,
+		Path:        path,
+		NextHop:     netaddr.MustParseAddr(nextHop),
+		Communities: comms,
+	}
+}
+
+func TestInternDedupes(t *testing.T) {
+	tab := New()
+	p := bgp.PathFromASNs(701, 1239, 690)
+	h1 := tab.Attrs(attrs("10.0.0.1", p))
+	h2 := tab.Attrs(attrs("10.0.0.1", bgp.PathFromASNs(701, 1239, 690)))
+	if h1 != h2 {
+		t.Fatalf("equal tuples interned to distinct handles")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+	h3 := tab.Attrs(attrs("10.0.0.2", p))
+	if h3 == h1 {
+		t.Fatalf("distinct next hops shared a handle")
+	}
+	if h3.ID == h1.ID {
+		t.Fatalf("distinct tuples shared an ID")
+	}
+	if h3.PathID != h1.PathID {
+		t.Fatalf("same path got distinct PathIDs: %d vs %d", h3.PathID, h1.PathID)
+	}
+}
+
+func TestInternPolicyDistinguishes(t *testing.T) {
+	tab := New()
+	p := bgp.PathFromASNs(701, 690)
+	plain := tab.Attrs(attrs("10.0.0.1", p))
+	tagged := tab.Attrs(attrs("10.0.0.1", p, bgp.Community(0x02BD0001)))
+	if plain == tagged {
+		t.Fatalf("community change interned to the same handle")
+	}
+	if !ForwardingEqual(plain, tagged) {
+		t.Fatalf("ForwardingEqual false for policy-only difference")
+	}
+	med := attrs("10.0.0.1", p)
+	med.HasMED, med.MED = true, 50
+	hm := tab.Attrs(med)
+	if hm == plain {
+		t.Fatalf("MED change interned to the same handle")
+	}
+	if !ForwardingEqual(hm, plain) {
+		t.Fatalf("ForwardingEqual must ignore MED")
+	}
+}
+
+func TestForwardingEqual(t *testing.T) {
+	tab := New()
+	a := tab.Attrs(attrs("10.0.0.1", bgp.PathFromASNs(701, 690)))
+	b := tab.Attrs(attrs("10.0.0.1", bgp.PathFromASNs(701, 1239, 690)))
+	if ForwardingEqual(a, b) {
+		t.Fatalf("distinct paths reported forwarding-equal")
+	}
+	if ForwardingEqual(a, nil) || ForwardingEqual(nil, a) || ForwardingEqual(nil, nil) {
+		t.Fatalf("nil handles must never be forwarding-equal")
+	}
+	if !ForwardingEqual(a, a) {
+		t.Fatalf("handle not forwarding-equal to itself")
+	}
+	if a.FwdHash != tab.Attrs(attrs("10.0.0.1", bgp.PathFromASNs(701, 690), bgp.Community(7))).FwdHash {
+		t.Fatalf("forwarding hash must ignore policy attributes")
+	}
+}
+
+func TestInternDeepCopies(t *testing.T) {
+	tab := New()
+	comms := []bgp.Community{bgp.Community(1)}
+	path := bgp.PathFromASNs(701, 690)
+	h := tab.Attrs(attrs("10.0.0.1", path, comms...))
+	comms[0] = bgp.Community(999)
+	path.Segments[0].ASNs[0] = 4242
+	got := h.Attrs()
+	if got.Communities[0] != bgp.Community(1) {
+		t.Fatalf("interned communities alias the caller's slice")
+	}
+	if got.Path.Segments[0].ASNs[0] != 701 {
+		t.Fatalf("interned path aliases the caller's segments")
+	}
+	// The mutated originals now describe a different tuple.
+	if h2 := tab.Attrs(attrs("10.0.0.1", path, comms...)); h2 == h {
+		t.Fatalf("mutated tuple resolved to the stale handle")
+	}
+}
+
+func TestPathIntern(t *testing.T) {
+	tab := New()
+	id1 := tab.Path(bgp.PathFromASNs(701, 690))
+	id2 := tab.Path(bgp.PathFromASNs(701, 690))
+	id3 := tab.Path(bgp.PathFromASNs(690))
+	if id1 != id2 {
+		t.Fatalf("equal paths got distinct IDs")
+	}
+	if id1 == id3 {
+		t.Fatalf("distinct paths shared an ID")
+	}
+	if tab.PathLen() != 2 {
+		t.Fatalf("PathLen = %d, want 2", tab.PathLen())
+	}
+	if !tab.Paths().Lookup(id3).Equal(bgp.PathFromASNs(690)) {
+		t.Fatalf("Lookup returned the wrong path")
+	}
+	// A handle interned after the bare path reuses its PathID.
+	h := tab.Attrs(attrs("10.0.0.1", bgp.PathFromASNs(690)))
+	if h.PathID != id3 {
+		t.Fatalf("handle PathID %d, want %d", h.PathID, id3)
+	}
+}
+
+func TestStatsFlush(t *testing.T) {
+	h0, m0, p0 := Stats()
+	tab := New()
+	a := attrs("10.0.0.1", bgp.PathFromASNs(701, 690))
+	tab.Attrs(a)
+	tab.Attrs(a)
+	tab.Attrs(a)
+	tab.FlushStats()
+	h1, m1, p1 := Stats()
+	if m1-m0 != 1 || p1-p0 != 1 {
+		t.Fatalf("misses/paths delta = %d/%d, want 1/1", m1-m0, p1-p0)
+	}
+	if h1-h0 != 2 {
+		t.Fatalf("hits delta = %d, want 2", h1-h0)
+	}
+	tab.FlushStats() // second flush with nothing pending must not move totals
+	h2, m2, _ := Stats()
+	if h2 != h1 || m2 != m1 {
+		t.Fatalf("empty flush moved totals")
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	tab := New()
+	a := attrs("10.0.0.1", bgp.PathFromASNs(701, 1239, 690), bgp.Community(0x02BD0001))
+	tab.Attrs(a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Attrs(a)
+	}
+}

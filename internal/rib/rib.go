@@ -17,13 +17,21 @@ type PeerID struct {
 // String formats the peer for logs and tables.
 func (p PeerID) String() string { return fmt.Sprintf("%v/%v", p.AS, p.ID) }
 
-// entry is one candidate route learned from one peer.
+// entry is one candidate route learned from one peer. pathID is the route's
+// AS path interned in the owning RIB's path table at Update time, so the
+// census counts distinct paths by integer set-insert instead of building a
+// key string per candidate per day.
 type entry struct {
-	peer  PeerID
-	attrs bgp.Attrs
+	peer   PeerID
+	attrs  bgp.Attrs
+	pathID bgp.PathID
 }
 
 // prefixState holds all candidates for a prefix plus the current best index.
+// A state whose candidate list has emptied is kept in the trie as a
+// tombstone (best == -1) rather than deleted: route flaps withdraw and
+// re-announce the same prefixes over and over, and reusing the state and its
+// candidate capacity makes the steady-state flap cycle allocation-free.
 type prefixState struct {
 	candidates []entry
 	best       int // index into candidates, -1 when none
@@ -71,18 +79,26 @@ func (d Decision) PolicyChanged() bool {
 type RIB struct {
 	localAS bgp.ASN
 	table   Trie[*prefixState]
+	paths   *bgp.PathTable
+	// live counts prefixes with at least one candidate; the trie may
+	// additionally hold tombstoned states awaiting reuse.
+	live int
 }
 
 // New returns an empty RIB for a router in the given AS.
 func New(localAS bgp.ASN) *RIB {
-	return &RIB{localAS: localAS}
+	return &RIB{localAS: localAS, paths: bgp.NewPathTable()}
 }
 
 // LocalAS returns the AS this RIB belongs to.
 func (r *RIB) LocalAS() bgp.ASN { return r.localAS }
 
 // Len returns the number of prefixes with at least one candidate route.
-func (r *RIB) Len() int { return r.table.Len() }
+func (r *RIB) Len() int { return r.live }
+
+// PathTable exposes the RIB's private path interner: census partials carry
+// IDs from this table, and MergeCensuses remaps them when partitions merge.
+func (r *RIB) PathTable() *bgp.PathTable { return r.paths }
 
 // Update installs (or replaces) the route for prefix learned from peer and
 // re-runs the decision process. Routes whose AS_PATH contains the local AS
@@ -105,16 +121,21 @@ func (r *RIB) Update(peer PeerID, prefix netaddr.Prefix, attrs bgp.Attrs) Decisi
 		st = &prefixState{best: -1}
 		r.table.Insert(prefix, st)
 	}
+	if len(st.candidates) == 0 {
+		r.live++ // fresh prefix, or a tombstone coming back to life
+	}
+	pid := r.paths.ID(attrs.Path)
 	replaced := false
 	for i := range st.candidates {
 		if st.candidates[i].peer == peer {
 			st.candidates[i].attrs = attrs
+			st.candidates[i].pathID = pid
 			replaced = true
 			break
 		}
 	}
 	if !replaced {
-		st.candidates = append(st.candidates, entry{peer: peer, attrs: attrs})
+		st.candidates = append(st.candidates, entry{peer: peer, attrs: attrs, pathID: pid})
 	}
 	r.decide(st)
 	if st.best >= 0 {
@@ -131,8 +152,8 @@ func (r *RIB) Update(peer PeerID, prefix netaddr.Prefix, attrs bgp.Attrs) Decisi
 func (r *RIB) Withdraw(peer PeerID, prefix netaddr.Prefix) Decision {
 	d := Decision{Prefix: prefix}
 	st, ok := r.table.Get(prefix)
-	if !ok {
-		return d
+	if !ok || len(st.candidates) == 0 {
+		return d // unknown prefix or an existing tombstone: WWDup either way
 	}
 	if st.best >= 0 {
 		d.HadBest = true
@@ -146,7 +167,10 @@ func (r *RIB) Withdraw(peer PeerID, prefix netaddr.Prefix) Decision {
 		}
 	}
 	if len(st.candidates) == 0 {
-		r.table.Delete(prefix)
+		// Tombstone the state in place of a trie delete: the next announce
+		// of this prefix (the flap pattern) reuses it and its capacity.
+		st.best = -1
+		r.live--
 		return d
 	}
 	r.decide(st)
@@ -251,10 +275,12 @@ func (r *RIB) Candidates(prefix netaddr.Prefix) int {
 	return len(st.candidates)
 }
 
-// Lookup performs a longest-prefix-match forwarding lookup for a.
+// Lookup performs a longest-prefix-match forwarding lookup for a. Tombstoned
+// prefixes are skipped, so a withdrawn specific falls through to any shorter
+// covering prefix exactly as if it had been deleted.
 func (r *RIB) Lookup(a netaddr.Addr) (netaddr.Prefix, bgp.Attrs, bool) {
-	p, st, ok := r.table.LongestMatch(a)
-	if !ok || st.best < 0 {
+	p, st, ok := r.table.LongestMatchFunc(a, func(st *prefixState) bool { return st.best >= 0 })
+	if !ok {
 		return netaddr.Prefix{}, bgp.Attrs{}, false
 	}
 	return p, st.candidates[st.best].attrs, true
@@ -303,18 +329,25 @@ func (r *RIB) TakeCensus() Census {
 // pipeline's per-shard RIB mirrors). Prefix-level tallies sum across
 // partitions; origin ASes and AS paths are global distinct-counts, so the
 // partial keeps the sets and MergeCensuses takes the union.
+//
+// Paths holds interned PathIDs local to PathTab — the table of the RIB the
+// partial was taken from. IDs from different partials are not comparable;
+// MergeCensuses unions them by remapping every partial's IDs through one
+// fresh table (the per-shard ID-remap contract).
 type PartialCensus struct {
 	Prefixes   int
 	Multihomed int
 	Origins    map[bgp.ASN]struct{}
-	Paths      map[string]struct{}
+	Paths      map[bgp.PathID]struct{}
+	PathTab    *bgp.PathTable
 }
 
 // TakePartialCensus computes the mergeable census of this table.
 func (r *RIB) TakePartialCensus() PartialCensus {
 	pc := PartialCensus{
 		Origins: make(map[bgp.ASN]struct{}),
-		Paths:   make(map[string]struct{}),
+		Paths:   make(map[bgp.PathID]struct{}),
+		PathTab: r.paths,
 	}
 	r.table.Walk(func(_ netaddr.Prefix, st *prefixState) bool {
 		if len(st.candidates) == 0 {
@@ -331,7 +364,7 @@ func (r *RIB) TakePartialCensus() PartialCensus {
 				origs[o] = struct{}{}
 				pc.Origins[o] = struct{}{}
 			}
-			pc.Paths[cand.attrs.Path.Key()] = struct{}{}
+			pc.Paths[cand.pathID] = struct{}{}
 		}
 		if len(firsts) > 1 || len(origs) > 1 {
 			pc.Multihomed++
@@ -343,22 +376,28 @@ func (r *RIB) TakePartialCensus() PartialCensus {
 
 // MergeCensuses combines partial censuses of disjoint prefix partitions into
 // the Census the undivided table would have produced: prefix counts sum,
-// origin and path sets union.
+// origin sets union, and each partial's local PathIDs are remapped through
+// one fresh PathTable whose final size is the global distinct-path count.
+// Because interning is content-addressed, the remap is order-independent:
+// any merge order of any partition of the same table yields the same Census.
 func MergeCensuses(parts ...PartialCensus) Census {
 	var c Census
 	origins := make(map[bgp.ASN]struct{})
-	paths := make(map[string]struct{})
+	merged := bgp.NewPathTable()
 	for _, pc := range parts {
 		c.Prefixes += pc.Prefixes
 		c.Multihomed += pc.Multihomed
 		for o := range pc.Origins {
 			origins[o] = struct{}{}
 		}
-		for p := range pc.Paths {
-			paths[p] = struct{}{}
+		if pc.PathTab == nil {
+			continue
+		}
+		for id := range pc.Paths {
+			merged.ID(pc.PathTab.Lookup(id))
 		}
 	}
 	c.OriginASes = len(origins)
-	c.UniquePaths = len(paths)
+	c.UniquePaths = merged.Len()
 	return c
 }

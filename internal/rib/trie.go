@@ -121,6 +121,37 @@ func (t *Trie[V]) LongestMatch(a netaddr.Addr) (netaddr.Prefix, V, bool) {
 	return bestP, bestV, found
 }
 
+// LongestMatchFunc is LongestMatch restricted to stored values satisfying
+// ok: the most specific stored prefix containing a whose value passes the
+// predicate. The RIB uses it to skip tombstoned prefixes (states kept for
+// reuse after their last candidate was withdrawn) without letting them
+// shadow a shorter live prefix.
+func (t *Trie[V]) LongestMatchFunc(a netaddr.Addr, ok func(V) bool) (netaddr.Prefix, V, bool) {
+	var (
+		bestP  netaddr.Prefix
+		bestV  V
+		found  bool
+		prefix uint32
+	)
+	n := t.root
+	for i := 0; n != nil; i++ {
+		if n.set && ok(n.val) {
+			bestP = netaddr.MustPrefix(netaddr.Addr(prefix), i)
+			bestV = n.val
+			found = true
+		}
+		if i == 32 {
+			break
+		}
+		b := int(a>>(31-uint(i))) & 1
+		if b == 1 {
+			prefix |= 1 << (31 - uint(i))
+		}
+		n = n.child[b]
+	}
+	return bestP, bestV, found
+}
+
 // Walk visits every stored prefix in Compare order (address, then mask
 // length). Returning false from fn stops the walk.
 func (t *Trie[V]) Walk(fn func(p netaddr.Prefix, v V) bool) {

@@ -1,10 +1,10 @@
 package session
 
 import (
-	"sort"
 	"time"
 
 	"instability/internal/bgp"
+	"instability/internal/intern"
 	"instability/internal/netaddr"
 )
 
@@ -110,9 +110,16 @@ func (p *Peer) Flush() {
 	bgp.SortPrefixes(withdrawals)
 
 	// Group announcements by identical attribute sets so they share one
-	// UPDATE, as real speakers pack them.
-	groups := make(map[string][]netaddr.Prefix)
-	attrsByKey := make(map[string]bgp.Attrs)
+	// UPDATE, as real speakers pack them. Interned handle identity is the
+	// grouping key — one table probe per prefix, no key-string construction.
+	// Groups keep the order their first prefix appears in the sorted prefix
+	// list, so emission is deterministic.
+	type annGroup struct {
+		attrs bgp.Attrs
+		pres  []netaddr.Prefix
+	}
+	groupOf := make(map[*intern.Handle]int)
+	var groups []annGroup
 	annPrefixes := make([]netaddr.Prefix, 0, len(p.pendingAnn))
 	for pre := range p.pendingAnn {
 		annPrefixes = append(annPrefixes, pre)
@@ -125,9 +132,14 @@ func (p *Peer) Flush() {
 				continue // identical to what the peer holds; suppress
 			}
 		}
-		key := attrKey(attrs)
-		groups[key] = append(groups[key], pre)
-		attrsByKey[key] = attrs
+		h := p.tab.Attrs(attrs)
+		gi, ok := groupOf[h]
+		if !ok {
+			gi = len(groups)
+			groups = append(groups, annGroup{attrs: h.Attrs()})
+			groupOf[h] = gi
+		}
+		groups[gi].pres = append(groups[gi].pres, pre)
 	}
 
 	// Record Adj-RIB-Out effects (stateful only).
@@ -135,8 +147,8 @@ func (p *Peer) Flush() {
 		for _, pre := range withdrawals {
 			delete(p.advertised, pre)
 		}
-		for _, pres := range groups {
-			for _, pre := range pres {
+		for _, g := range groups {
+			for _, pre := range g.pres {
 				p.advertised[pre] = p.pendingAnn[pre]
 			}
 		}
@@ -155,48 +167,19 @@ func (p *Peer) Flush() {
 		withdrawals = withdrawals[n:]
 	}
 
-	// Emit announcement groups in deterministic order.
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		pres := groups[k]
+	// Emit announcement groups in deterministic first-seen order (the
+	// prefixes were sorted before grouping).
+	for _, g := range groups {
+		pres := g.pres
 		for len(pres) > 0 {
 			n := len(pres)
 			if n > maxPerMsg {
 				n = maxPerMsg
 			}
-			p.send(bgp.Update{Attrs: attrsByKey[k], Announced: pres[:n]})
+			p.send(bgp.Update{Attrs: g.attrs, Announced: pres[:n]})
 			pres = pres[n:]
 		}
 	}
-}
-
-// attrKey builds a grouping key covering every attribute that must match for
-// prefixes to share an UPDATE.
-func attrKey(a bgp.Attrs) string {
-	b := make([]byte, 0, 64)
-	b = append(b, byte(a.Origin))
-	b = append(b, a.Path.Key()...)
-	b = append(b, byte(a.NextHop>>24), byte(a.NextHop>>16), byte(a.NextHop>>8), byte(a.NextHop))
-	if a.HasMED {
-		b = append(b, 'M', byte(a.MED>>24), byte(a.MED>>16), byte(a.MED>>8), byte(a.MED))
-	}
-	if a.HasLocalPref {
-		b = append(b, 'L', byte(a.LocalPref>>24), byte(a.LocalPref>>16), byte(a.LocalPref>>8), byte(a.LocalPref))
-	}
-	if a.AtomicAggregate {
-		b = append(b, 'A')
-	}
-	if a.HasAggregator {
-		b = append(b, 'G', byte(a.AggregatorAS>>8), byte(a.AggregatorAS))
-	}
-	for _, c := range a.Communities {
-		b = append(b, 'C', byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
-	}
-	return string(b)
 }
 
 // HoldTimeNegotiated returns the negotiated hold time (zero before OPEN

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"instability/internal/bgp"
+	"instability/internal/intern"
 	"instability/internal/netaddr"
 )
 
@@ -164,6 +165,10 @@ type Peer struct {
 	pendingAnn map[netaddr.Prefix]bgp.Attrs
 	pendingWd  map[netaddr.Prefix]struct{}
 	advertised map[netaddr.Prefix]bgp.Attrs
+	// tab interns outbound attribute tuples so Flush groups announcements
+	// into shared UPDATEs by handle identity instead of building a key
+	// string per prefix per flush.
+	tab *intern.Table
 
 	stats Stats
 	// generation invalidates stale timer callbacks after a reset.
@@ -182,6 +187,7 @@ func New(cfg Config, clock Clock, cb Callbacks) *Peer {
 		pendingAnn: make(map[netaddr.Prefix]bgp.Attrs),
 		pendingWd:  make(map[netaddr.Prefix]struct{}),
 		advertised: make(map[netaddr.Prefix]bgp.Attrs),
+		tab:        intern.New(),
 	}
 	return p
 }

@@ -4,27 +4,101 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"instability/internal/bgp"
 	"instability/internal/collector"
+	"instability/internal/intern"
 	"instability/internal/netaddr"
 )
 
 // ErrCorrupt reports a damaged segment or WAL structure.
 var ErrCorrupt = errors.New("store: corrupt data")
 
+// attrEncoder memoizes the wire encoding of attribute tuples: the same
+// duplicate-dominated stream that motivates interning means the writer would
+// otherwise re-marshal identical path attributes for nearly every record.
+// One encoder belongs to one Store and is guarded by the store mutex (every
+// WAL append, seal, and compaction already runs under it).
+type attrEncoder struct {
+	tab  *intern.Table
+	wire [][]byte // wire form by handle ID, filled lazily
+}
+
+func newAttrEncoder() *attrEncoder { return &attrEncoder{tab: intern.New()} }
+
+// encode interns a and returns its handle plus its cached wire form. The
+// returned bytes are shared and must not be modified.
+func (e *attrEncoder) encode(a bgp.Attrs) (*intern.Handle, []byte, error) {
+	h := e.tab.Attrs(a)
+	for int(h.ID) >= len(e.wire) {
+		e.wire = append(e.wire, nil)
+	}
+	w := e.wire[h.ID]
+	if w == nil {
+		var err error
+		w, err = bgp.MarshalAttrs(h.Attrs())
+		if err != nil {
+			return nil, nil, err
+		}
+		e.wire[h.ID] = w
+	}
+	return h, w, nil
+}
+
+// decodeInterner canonicalizes attribute tuples decoded from segment blocks,
+// so repeated scans of the same store return shared Attrs instead of a fresh
+// deep copy per dictionary entry per scan. Entries are memoized straight from
+// their wire bytes: after the first decode of a tuple, later blocks resolve
+// it with one map probe and zero allocations (Go elides the string(w)
+// conversion in the map lookup). It is shared by every scan worker of a
+// store; the lock is taken once per dictionary entry (per block), never per
+// record, so contention is negligible.
+type decodeInterner struct {
+	mu     sync.Mutex
+	tab    *intern.Table
+	byWire map[string]bgp.Attrs
+}
+
+func newDecodeInterner() *decodeInterner {
+	return &decodeInterner{tab: intern.New(), byWire: make(map[string]bgp.Attrs)}
+}
+
+// internWire decodes the attribute wire bytes w (not retained) and returns
+// the canonical shared form of the tuple.
+func (d *decodeInterner) internWire(w []byte) (bgp.Attrs, error) {
+	d.mu.Lock()
+	if a, ok := d.byWire[string(w)]; ok {
+		d.mu.Unlock()
+		return a, nil
+	}
+	a, err := bgp.UnmarshalAttrs(w)
+	if err != nil {
+		d.mu.Unlock()
+		return bgp.Attrs{}, err
+	}
+	a = d.tab.Attrs(a).Attrs()
+	d.byWire[string(append([]byte(nil), w...))] = a
+	d.tab.FlushStats()
+	d.mu.Unlock()
+	return a, nil
+}
+
 // appendRecordTail encodes everything after the timestamp: type, peer,
-// prefix, attributes. Shared by the WAL (absolute time) and block (delta
-// time) codecs.
-func appendRecordTail(b []byte, rec collector.Record) ([]byte, error) {
-	b = append(b, byte(rec.Type))
-	b = binary.AppendUvarint(b, uint64(rec.PeerAS))
-	b = binary.AppendUvarint(b, uint64(rec.PeerAddr))
-	b = append(b, byte(rec.Prefix.Bits()))
-	b = binary.AppendUvarint(b, uint64(rec.Prefix.Addr()))
+// prefix, attributes inline (block format v1, and the WAL). enc, when
+// non-nil, supplies memoized attribute bytes so duplicate attribute sets are
+// marshaled once per store rather than once per record.
+func appendRecordTail(b []byte, rec collector.Record, enc *attrEncoder) ([]byte, error) {
+	b = appendRecordCore(b, rec)
 	if rec.Type == collector.Announce {
-		attrs, err := bgp.MarshalAttrs(rec.Attrs)
+		var attrs []byte
+		var err error
+		if enc != nil {
+			_, attrs, err = enc.encode(rec.Attrs)
+		} else {
+			attrs, err = bgp.MarshalAttrs(rec.Attrs)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -36,9 +110,72 @@ func appendRecordTail(b []byte, rec collector.Record) ([]byte, error) {
 	return b, nil
 }
 
-// decodeRecordTail is the inverse of appendRecordTail; it fills everything
-// but rec.Time and returns the remaining bytes.
+// appendRecordTailV2 encodes a record tail in block format v2: announce
+// records reference a per-block attribute dictionary entry by index instead
+// of carrying inline attribute bytes; non-announce records carry nothing.
+func appendRecordTailV2(b []byte, rec collector.Record, dictIdx int) []byte {
+	b = appendRecordCore(b, rec)
+	if rec.Type == collector.Announce {
+		b = binary.AppendUvarint(b, uint64(dictIdx))
+	}
+	return b
+}
+
+// appendRecordCore encodes the fields common to both block formats.
+func appendRecordCore(b []byte, rec collector.Record) []byte {
+	b = append(b, byte(rec.Type))
+	b = binary.AppendUvarint(b, uint64(rec.PeerAS))
+	b = binary.AppendUvarint(b, uint64(rec.PeerAddr))
+	b = append(b, byte(rec.Prefix.Bits()))
+	return binary.AppendUvarint(b, uint64(rec.Prefix.Addr()))
+}
+
+// decodeRecordTail is the inverse of appendRecordTail (block format v1); it
+// fills everything but rec.Time and returns the remaining bytes.
 func decodeRecordTail(b []byte, rec *collector.Record) ([]byte, error) {
+	b, err := decodeRecordCore(b, rec)
+	if err != nil {
+		return nil, err
+	}
+	alen, n := binary.Uvarint(b)
+	if n <= 0 || alen > uint64(len(b)-n) {
+		return nil, fmt.Errorf("%w: attribute length", ErrCorrupt)
+	}
+	b = b[n:]
+	if alen > 0 {
+		rec.Attrs, err = bgp.UnmarshalAttrs(b[:alen])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		b = b[alen:]
+	} else {
+		rec.Attrs = bgp.Attrs{}
+	}
+	return b, nil
+}
+
+// decodeRecordTailV2 is the inverse of appendRecordTailV2. Announce records
+// resolve their attributes from dict — the shared per-block dictionary — so
+// every record of a block referencing the same tuple shares one Attrs value.
+func decodeRecordTailV2(b []byte, rec *collector.Record, dict []bgp.Attrs) ([]byte, error) {
+	b, err := decodeRecordCore(b, rec)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Type != collector.Announce {
+		rec.Attrs = bgp.Attrs{}
+		return b, nil
+	}
+	idx, n := binary.Uvarint(b)
+	if n <= 0 || idx >= uint64(len(dict)) {
+		return nil, fmt.Errorf("%w: attribute dictionary index", ErrCorrupt)
+	}
+	rec.Attrs = dict[idx]
+	return b[n:], nil
+}
+
+// decodeRecordCore decodes the fields common to both block formats.
+func decodeRecordCore(b []byte, rec *collector.Record) ([]byte, error) {
 	if len(b) < 1 {
 		return nil, fmt.Errorf("%w: record type", ErrCorrupt)
 	}
@@ -76,28 +213,14 @@ func decodeRecordTail(b []byte, rec *collector.Record) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	rec.Prefix = p
-	alen, n := binary.Uvarint(b)
-	if n <= 0 || alen > uint64(len(b)-n) {
-		return nil, fmt.Errorf("%w: attribute length", ErrCorrupt)
-	}
-	b = b[n:]
-	if alen > 0 {
-		rec.Attrs, err = bgp.UnmarshalAttrs(b[:alen])
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-		b = b[alen:]
-	} else {
-		rec.Attrs = bgp.Attrs{}
-	}
 	return b, nil
 }
 
 // appendRecordAbs encodes a record with an absolute nanosecond timestamp
-// (WAL form).
-func appendRecordAbs(b []byte, rec collector.Record) ([]byte, error) {
+// (WAL form; always inline attributes).
+func appendRecordAbs(b []byte, rec collector.Record, enc *attrEncoder) ([]byte, error) {
 	b = binary.BigEndian.AppendUint64(b, uint64(rec.Time.UnixNano()))
-	return appendRecordTail(b, rec)
+	return appendRecordTail(b, rec, enc)
 }
 
 // decodeRecordAbs is the inverse of appendRecordAbs.

@@ -132,10 +132,11 @@ func (s *Store) mergeWindowLocked(window int64, gs []*segment) (*segment, error)
 	// Seal-assigned sequence ranges within a window are contiguous across
 	// its segments, so the merged range is exactly [firstSeq, lastSeq] and
 	// writeSegment's firstSeq+len-1 arithmetic reproduces lastSeq.
-	merged, err := writeSegment(s.dir, s.nextSeg, window, firstSeq, out, replaces, s.opts)
+	merged, err := writeSegment(s.dir, s.nextSeg, window, firstSeq, out, replaces, s.opts, s.enc)
 	if err != nil {
 		return nil, err
 	}
+	merged.di = s.dec
 	s.nextSeg++
 	return merged, nil
 }

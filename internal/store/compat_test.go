@@ -1,0 +1,184 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/collector"
+	"instability/internal/netaddr"
+)
+
+// fixtureRecords is the deterministic record set inside the checked-in v1
+// segment fixture. Changing it invalidates testdata/seg-v1.irts; regenerate
+// with:
+//
+//	STORE_WRITE_FIXTURE=1 go test ./internal/store -run TestWriteV1Fixture
+func fixtureRecords() []collector.Record {
+	start := time.Date(1996, 5, 1, 12, 0, 0, 0, time.UTC)
+	var recs []collector.Record
+	for i := 0; i < 300; i++ {
+		ts := start.Add(time.Duration(i) * time.Second)
+		peer := bgp.ASN(100 + i%3)
+		origin := bgp.ASN(7000 + i%5)
+		prefix := netaddr.MustPrefix(netaddr.Addr(0xc6000000+uint32(i%40)<<8), 24)
+		recs = append(recs, mkRecord(ts, peer, origin, prefix, i%4 != 0))
+	}
+	return recs
+}
+
+const v1FixtureName = "seg-v1.irts"
+
+// TestWriteV1Fixture regenerates the checked-in v1 fixture. It is a no-op
+// unless STORE_WRITE_FIXTURE is set, so normal runs never rewrite testdata.
+func TestWriteV1Fixture(t *testing.T) {
+	if os.Getenv("STORE_WRITE_FIXTURE") == "" {
+		t.Skip("set STORE_WRITE_FIXTURE=1 to regenerate the v1 fixture")
+	}
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.formatVersion = segVersionV1
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Writer().AppendBatch(fixtureRecords()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want exactly one sealed segment, got %v (%v)", segs, err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := copyFile(segs[0], filepath.Join("testdata", v1FixtureName)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// openV1Fixture copies the checked-in v1 segment into a fresh store directory
+// and opens it (under whatever options the caller wants layered on top).
+func openV1Fixture(t *testing.T, opts Options) *Store {
+	t.Helper()
+	dir := t.TempDir()
+	if err := copyFile(filepath.Join("testdata", v1FixtureName), filepath.Join(dir, segName(1))); err != nil {
+		t.Fatalf("fixture missing (regenerate with STORE_WRITE_FIXTURE=1): %v", err)
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestV1SegmentFixture is the forward-compatibility contract: a store sealed
+// by the v1 (inline attributes) block format must read back identically under
+// the current code, through both the serial and parallel scan paths.
+func TestV1SegmentFixture(t *testing.T) {
+	s := openV1Fixture(t, testOptions())
+	if st := s.Stats(); st.SegmentsV1 != 1 || st.SegmentsV2 != 0 {
+		t.Fatalf("want one v1 segment, got %+v", st)
+	}
+	want := fixtureRecords()
+
+	got, _ := queryAll(t, s, Query{})
+	assertSameRecords(t, got, want)
+
+	r, err := s.QueryParallel(Query{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	gotPar, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecords(t, gotPar, want)
+
+	// Indexed predicates work on v1 segments too (the index format is
+	// version-independent).
+	origin := bgp.ASN(7002)
+	var wantOrigin []collector.Record
+	for _, rec := range want {
+		if o, ok := originOf(rec); ok && o == origin {
+			wantOrigin = append(wantOrigin, rec)
+		}
+	}
+	gotOrigin, _ := queryAll(t, s, Query{OriginAS: []bgp.ASN{origin}})
+	assertSameRecords(t, gotOrigin, wantOrigin)
+}
+
+// TestCompactRewritesV1ToV2 checks that compaction migrates old segments: two
+// v1 segments of one window merge into a single v2 segment holding the same
+// records.
+func TestCompactRewritesV1ToV2(t *testing.T) {
+	dir := t.TempDir()
+	optsV1 := testOptions()
+	optsV1.formatVersion = segVersionV1
+	s, err := Open(dir, optsV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := fixtureRecords() // single one-hour window
+	w := s.Writer()
+	if err := w.AppendBatch(recs[:150]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(recs[150:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with default options: new writes (the compaction rewrite) use
+	// the current format.
+	s2, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.SegmentsV1 != 2 {
+		t.Fatalf("want two v1 segments before compaction, got %+v", st)
+	}
+	cst, err := s2.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.SegmentsMerged != 2 || cst.SegmentsAfter != 1 {
+		t.Fatalf("unexpected compaction shape: %+v", cst)
+	}
+	if st := s2.Stats(); st.SegmentsV1 != 0 || st.SegmentsV2 != 1 {
+		t.Fatalf("compaction did not rewrite to v2: %+v", st)
+	}
+	got, _ := queryAll(t, s2, Query{})
+	assertSameRecords(t, got, recs)
+}

@@ -33,6 +33,11 @@ var (
 	obsCompactRecords = obs.Default().Counter("irtl_store_compact_records_total",
 		"Records rewritten by compaction.")
 
+	obsDictEntries = obs.Default().Counter("irtl_store_dict_entries_total",
+		"Attribute dictionary entries written into v2 segment blocks.")
+	obsDictBytesSaved = obs.Default().Counter("irtl_store_dict_bytes_saved_total",
+		"Uncompressed bytes saved by v2 dictionary encoding vs inline attributes.")
+
 	obsQueries = obs.Default().Counter("irtl_store_queries_total",
 		"Queries opened against stores.")
 	obsQuerySegments = obs.Default().Counter("irtl_store_query_segments_total",

@@ -247,7 +247,9 @@ func (sc *segStream) advance() error {
 			sc.ok = false
 			return nil
 		}
-		recs, err := sc.seg.readBlock(sc.f, sc.blocks[sc.bi])
+		// sc.recs is fully consumed here (ri == len), so its backing array
+		// is handed back for reuse — one record buffer per stream, total.
+		recs, err := sc.seg.readBlock(sc.f, sc.blocks[sc.bi], sc.recs)
 		if err != nil {
 			sc.ok = false
 			return err

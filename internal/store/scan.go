@@ -39,6 +39,15 @@ type blockResult struct {
 	err  error
 }
 
+// recBufPool recycles decoded-record buffers across parallel scans: the
+// merge consumer returns each fully consumed slice and workers decode the
+// next block into a recycled one, so steady-state scanning holds a bounded
+// set of live buffers instead of allocating one per block per query.
+var recBufPool = sync.Pool{New: func() any { return new([]collector.Record) }}
+
+func getRecBuf() []collector.Record  { return *recBufPool.Get().(*[]collector.Record) }
+func putRecBuf(b []collector.Record) { recBufPool.Put(&b) }
+
 // scanPool is a fixed set of decompression workers shared by all streams of
 // one parallel reader. Each worker owns a blockReader for its lifetime, so
 // buffer reuse needs no per-block pool traffic.
@@ -56,7 +65,7 @@ func newScanPool(workers, queue int) *scanPool {
 			br := blockReaderPool.Get().(*blockReader)
 			defer blockReaderPool.Put(br)
 			for t := range p.tasks {
-				recs, err := t.seg.readBlockWith(br, t.f, t.bi)
+				recs, err := t.seg.readBlockWith(br, t.f, t.bi, getRecBuf())
 				t.out <- blockResult{recs: recs, err: err}
 			}
 		}()
@@ -222,6 +231,11 @@ func (sc *parSegStream) advance() error {
 		}
 		sc.blocksRead++
 		sc.scanned += len(res.recs)
+		// The previous block's records are all consumed (copied out by
+		// value), so its buffer goes back to the workers.
+		if cap(sc.recs) > 0 {
+			putRecBuf(sc.recs)
+		}
 		sc.recs, sc.ri = res.recs, 0
 		sc.fill()
 	}

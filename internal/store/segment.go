@@ -11,16 +11,24 @@ import (
 	"sync"
 	"time"
 
+	"instability/internal/bgp"
 	"instability/internal/collector"
 )
 
 // Segment file naming and framing.
 const (
-	segPrefix  = "seg-"
-	segSuffix  = ".irts"
-	segMagic   = "IRTS"
-	segVersion = 1
-	segHdrLen  = 5 // magic + version
+	segPrefix = "seg-"
+	segSuffix = ".irts"
+	segMagic  = "IRTS"
+	// segVersionV1 blocks carry inline attribute bytes per record.
+	// segVersionV2 blocks open with an attribute dictionary written once;
+	// announce records reference entries by varint index, so the duplicate
+	// attribute sets that dominate real streams are stored and decoded once
+	// per block instead of once per record. New segments are written v2; v1
+	// segments remain fully readable.
+	segVersionV1 = 1
+	segVersionV2 = 2
+	segHdrLen    = 5 // magic + version
 	// segTailLen is the fixed trailer: u32 footer length + magic + version.
 	segTailLen = 4 + 4 + 1
 )
@@ -31,6 +39,10 @@ type segment struct {
 	path string
 	seq  uint64 // segment file number
 	size int64
+	ver  byte   // block format version (segVersionV1 or segVersionV2)
+	// di, when set by the owning store, canonicalizes dictionary entries at
+	// decode time so repeated scans share attribute storage.
+	di *decodeInterner
 
 	windowStart int64 // time partition this segment belongs to (unixnano)
 	minTime     int64 // first record timestamp
@@ -48,9 +60,16 @@ func segName(seq uint64) string { return fmt.Sprintf("%s%08d%s", segPrefix, seq,
 // writeSegment seals recs (already sorted by time) into a new segment file
 // in dir. The write is crash-safe: the file is assembled under a .tmp name
 // and renamed into place.
-func writeSegment(dir string, seq uint64, windowStart int64, firstSeq uint64, recs []collector.Record, replaces []uint64, opts Options) (*segment, error) {
+func writeSegment(dir string, seq uint64, windowStart int64, firstSeq uint64, recs []collector.Record, replaces []uint64, opts Options, enc *attrEncoder) (*segment, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("store: sealing empty segment")
+	}
+	version := opts.formatVersion
+	if version == 0 {
+		version = segVersionV2
+	}
+	if version == segVersionV2 && enc == nil {
+		enc = newAttrEncoder()
 	}
 	ix := &segIndex{
 		peers:   make(postings),
@@ -60,9 +79,20 @@ func writeSegment(dir string, seq uint64, windowStart int64, firstSeq uint64, re
 
 	var buf bytes.Buffer
 	buf.WriteString(segMagic)
-	buf.WriteByte(segVersion)
+	buf.WriteByte(version)
+
+	// v2 per-block dictionary scratch, reused across blocks.
+	var (
+		dictOf   map[uint32]int // handle ID -> dictionary index
+		dictWire [][]byte
+		recIdx   []int
+	)
+	if version >= segVersionV2 {
+		dictOf = make(map[uint32]int, 32)
+	}
 
 	var raw, cbuf bytes.Buffer
+	scratch := make([]byte, 0, 64)
 	for start := 0; start < len(recs); start += opts.BlockRecords {
 		end := start + opts.BlockRecords
 		if end > len(recs) {
@@ -72,19 +102,58 @@ func writeSegment(dir string, seq uint64, windowStart int64, firstSeq uint64, re
 		blockID := int32(len(ix.blocks))
 
 		raw.Reset()
+		if version >= segVersionV2 {
+			// First pass: build the block's attribute dictionary. inline
+			// tallies what v1 would have spent, for the bytes-saved metric.
+			clear(dictOf)
+			dictWire = dictWire[:0]
+			recIdx = recIdx[:0]
+			inline, dictBytes := 0, 0
+			for _, rec := range block {
+				di := -1
+				if rec.Type == collector.Announce {
+					h, w, err := enc.encode(rec.Attrs)
+					if err != nil {
+						return nil, err
+					}
+					j, ok := dictOf[h.ID]
+					if !ok {
+						j = len(dictWire)
+						dictOf[h.ID] = j
+						dictWire = append(dictWire, w)
+						dictBytes += len(w)
+					}
+					inline += len(w)
+					di = j
+				}
+				recIdx = append(recIdx, di)
+			}
+			scratch = binary.AppendUvarint(scratch[:0], uint64(len(dictWire)))
+			for _, w := range dictWire {
+				scratch = binary.AppendUvarint(scratch, uint64(len(w)))
+				scratch = append(scratch, w...)
+			}
+			raw.Write(scratch)
+			obsDictEntries.Add(int64(len(dictWire)))
+			obsDictBytesSaved.Add(int64(inline - dictBytes))
+		}
+
 		prev := block[0].Time.UnixNano()
-		scratch := make([]byte, 0, 64)
-		for _, rec := range block {
+		for ri, rec := range block {
 			t := rec.Time.UnixNano()
 			if t < prev {
 				return nil, fmt.Errorf("store: records not time-sorted at seal")
 			}
 			scratch = binary.AppendUvarint(scratch[:0], uint64(t-prev))
 			prev = t
-			var err error
-			scratch, err = appendRecordTail(scratch, rec)
-			if err != nil {
-				return nil, err
+			if version >= segVersionV2 {
+				scratch = appendRecordTailV2(scratch, rec, recIdx[ri])
+			} else {
+				var err error
+				scratch, err = appendRecordTail(scratch, rec, enc)
+				if err != nil {
+					return nil, err
+				}
 			}
 			raw.Write(scratch)
 
@@ -138,7 +207,7 @@ func writeSegment(dir string, seq uint64, windowStart int64, firstSeq uint64, re
 	tail := make([]byte, 0, segTailLen)
 	tail = binary.BigEndian.AppendUint32(tail, uint32(len(footer)))
 	tail = append(tail, segMagic...)
-	tail = append(tail, segVersion)
+	tail = append(tail, version)
 	buf.Write(tail)
 
 	path := filepath.Join(dir, segName(seq))
@@ -171,6 +240,7 @@ func writeSegment(dir string, seq uint64, windowStart int64, firstSeq uint64, re
 		path:        path,
 		seq:         seq,
 		size:        int64(buf.Len()),
+		ver:         version,
 		windowStart: windowStart,
 		minTime:     recs[0].Time.UnixNano(),
 		maxTime:     recs[len(recs)-1].Time.UnixNano(),
@@ -201,14 +271,14 @@ func openSegment(path string) (*segment, error) {
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
 		return nil, err
 	}
-	if string(hdr[:4]) != segMagic || hdr[4] != segVersion {
+	if string(hdr[:4]) != segMagic || hdr[4] < segVersionV1 || hdr[4] > segVersionV2 {
 		return nil, fmt.Errorf("%w: bad segment header", ErrCorrupt)
 	}
 	var tail [segTailLen]byte
 	if _, err := f.ReadAt(tail[:], size-segTailLen); err != nil {
 		return nil, err
 	}
-	if string(tail[4:8]) != segMagic || tail[8] != segVersion {
+	if string(tail[4:8]) != segMagic || tail[8] != hdr[4] {
 		return nil, fmt.Errorf("%w: bad segment trailer", ErrCorrupt)
 	}
 	flen := int64(binary.BigEndian.Uint32(tail[:4]))
@@ -219,7 +289,7 @@ func openSegment(path string) (*segment, error) {
 	if _, err := f.ReadAt(footer, size-segTailLen-flen); err != nil {
 		return nil, err
 	}
-	g := &segment{path: path, size: size}
+	g := &segment{path: path, size: size, ver: hdr[4]}
 	indexOff := int64(binary.BigEndian.Uint64(footer))
 	g.windowStart = int64(binary.BigEndian.Uint64(footer[8:]))
 	g.minTime = int64(binary.BigEndian.Uint64(footer[16:]))
@@ -261,25 +331,30 @@ func openSegment(path string) (*segment, error) {
 // alias these buffers (record decoding copies paths and communities out), so
 // a blockReader can be recycled the moment readBlockWith returns.
 type blockReader struct {
-	cb  []byte
-	src bytes.Reader
-	raw bytes.Buffer
-	fr  io.ReadCloser // always implements flate.Resetter
+	cb   []byte
+	src  bytes.Reader
+	raw  bytes.Buffer
+	fr   io.ReadCloser // always implements flate.Resetter
+	dict []bgp.Attrs   // v2 per-block attribute dictionary scratch
 }
 
 var blockReaderPool = sync.Pool{New: func() any { return new(blockReader) }}
 
-// readBlock decompresses and decodes block bi of the segment from f.
-func (g *segment) readBlock(f *os.File, bi int) ([]collector.Record, error) {
+// readBlock decompresses and decodes block bi of the segment from f,
+// appending records onto dst[:0]. A caller that has fully consumed the
+// previous result may pass it back as dst to reuse its backing array (the
+// serial scan does, so a stream allocates one record buffer total); callers
+// whose results outlive the next call must pass nil.
+func (g *segment) readBlock(f *os.File, bi int, dst []collector.Record) ([]collector.Record, error) {
 	br := blockReaderPool.Get().(*blockReader)
 	defer blockReaderPool.Put(br)
-	return g.readBlockWith(br, f, bi)
+	return g.readBlockWith(br, f, bi, dst)
 }
 
 // readBlockWith is readBlock against caller-owned scratch state; the
 // parallel scan workers each hold one blockReader for their whole lifetime.
 // f must support concurrent ReadAt (os.File does).
-func (g *segment) readBlockWith(br *blockReader, f *os.File, bi int) ([]collector.Record, error) {
+func (g *segment) readBlockWith(br *blockReader, f *os.File, bi int, dst []collector.Record) ([]collector.Record, error) {
 	bm := g.index.blocks[bi]
 	if cap(br.cb) < int(bm.clen) {
 		br.cb = make([]byte, bm.clen)
@@ -303,7 +378,43 @@ func (g *segment) readBlockWith(br *blockReader, f *os.File, bi int) ([]collecto
 		return nil, err
 	}
 	b := br.raw.Bytes()
-	recs := make([]collector.Record, 0, bm.count)
+
+	// v2 blocks open with the attribute dictionary; decode (and, when the
+	// owning store provides an interner, canonicalize) each entry once so
+	// every record referencing it shares one Attrs value.
+	v2 := g.ver >= segVersionV2
+	if v2 {
+		dictN, n := binary.Uvarint(b)
+		if n <= 0 || dictN > uint64(len(b)) {
+			return nil, fmt.Errorf("%w: block %d dictionary count", ErrCorrupt, bi)
+		}
+		b = b[n:]
+		br.dict = br.dict[:0]
+		for j := uint64(0); j < dictN; j++ {
+			alen, n := binary.Uvarint(b)
+			if n <= 0 || alen > uint64(len(b)-n) {
+				return nil, fmt.Errorf("%w: block %d dictionary entry %d", ErrCorrupt, bi, j)
+			}
+			b = b[n:]
+			var a bgp.Attrs
+			var err error
+			if g.di != nil {
+				a, err = g.di.internWire(b[:alen])
+			} else {
+				a, err = bgp.UnmarshalAttrs(b[:alen])
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%w: block %d dictionary entry %d: %v", ErrCorrupt, bi, j, err)
+			}
+			b = b[alen:]
+			br.dict = append(br.dict, a)
+		}
+	}
+
+	recs := dst[:0]
+	if cap(recs) < int(bm.count) {
+		recs = make([]collector.Record, 0, bm.count)
+	}
 	prev := bm.minTime
 	for i := int32(0); i < bm.count; i++ {
 		dt, n := binary.Uvarint(b)
@@ -315,7 +426,11 @@ func (g *segment) readBlockWith(br *blockReader, f *os.File, bi int) ([]collecto
 		var rec collector.Record
 		rec.Time = time.Unix(0, prev).UTC()
 		var err error
-		b, err = decodeRecordTail(b, &rec)
+		if v2 {
+			b, err = decodeRecordTailV2(b, &rec, br.dict)
+		} else {
+			b, err = decodeRecordTail(b, &rec)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: block %d record %d: %v", ErrCorrupt, bi, i, err)
 		}

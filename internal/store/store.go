@@ -79,6 +79,11 @@ type Options struct {
 	// BloomBitsPerKey sizes the per-segment prefix bloom filter. Default 10
 	// (~1% false positives).
 	BloomBitsPerKey int
+	// formatVersion selects the segment block format for newly written
+	// segments. Unexported: production stores always write the current
+	// version; tests set it to segVersionV1 to produce compatibility
+	// fixtures. Defaults to segVersionV2.
+	formatVersion byte
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +98,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BloomBitsPerKey <= 0 {
 		o.BloomBitsPerKey = 10
+	}
+	if o.formatVersion == 0 {
+		o.formatVersion = segVersionV2
 	}
 	return o
 }
@@ -111,6 +119,12 @@ type Store struct {
 	memN    int
 	closed  bool
 
+	// enc memoizes attribute wire encodings across WAL appends, seals, and
+	// compactions (guarded by mu); dec canonicalizes attributes decoded from
+	// v2 segment dictionaries so repeated scans share storage.
+	enc *attrEncoder
+	dec *decodeInterner
+
 	writer Writer
 }
 
@@ -127,7 +141,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, opts: opts, mem: make(map[int64]*memWindow)}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		mem:  make(map[int64]*memWindow),
+		enc:  newAttrEncoder(),
+		dec:  newDecodeInterner(),
+	}
 	s.writer = Writer{s: s}
 
 	entries, err := os.ReadDir(dir)
@@ -147,6 +167,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: segment %s: %w", name, err)
 		}
+		seg.di = s.dec
 		s.segs = append(s.segs, seg)
 	}
 	s.dropReplaced()
@@ -252,6 +273,8 @@ func (s *Store) windowStart(t time.Time) int64 {
 // Stats describes the current shape of the store.
 type Stats struct {
 	Segments   int   // sealed segment files
+	SegmentsV1 int   // segments in block format v1 (inline attributes)
+	SegmentsV2 int   // segments in block format v2 (attribute dictionary)
 	Blocks     int   // compressed blocks across all segments
 	Records    int64 // records in sealed segments
 	MemRecords int   // unsealed records (memtable / WAL)
@@ -272,6 +295,11 @@ func (s *Store) Stats() Stats {
 		st.Records += int64(g.count)
 		st.DiskBytes += g.size
 		windows[g.windowStart] = true
+		if g.ver >= segVersionV2 {
+			st.SegmentsV2++
+		} else {
+			st.SegmentsV1++
+		}
 	}
 	for w, mw := range s.mem {
 		if len(mw.recs) > 0 {

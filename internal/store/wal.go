@@ -115,17 +115,22 @@ func (w *wal) size() int64 { return w.off }
 
 func (w *wal) close() error { return w.f.Close() }
 
-// appendWALFrame encodes one entry as a framed payload onto b.
-func appendWALFrame(b []byte, window int64, seq uint64, rec collector.Record) ([]byte, error) {
-	payload := make([]byte, 0, 64)
-	payload = binary.BigEndian.AppendUint64(payload, uint64(window))
-	payload = binary.BigEndian.AppendUint64(payload, seq)
-	payload, err := appendRecordAbs(payload, rec)
+// appendWALFrame encodes one entry as a framed payload onto b. The payload is
+// built in place on b behind a length placeholder that is patched afterward,
+// so no per-record scratch buffer is allocated; enc supplies memoized
+// attribute bytes for the record.
+func appendWALFrame(b []byte, window int64, seq uint64, rec collector.Record, enc *attrEncoder) ([]byte, error) {
+	lenAt := len(b)
+	b = append(b, 0, 0, 0, 0) // payload length, patched below
+	pStart := len(b)
+	b = binary.BigEndian.AppendUint64(b, uint64(window))
+	b = binary.BigEndian.AppendUint64(b, seq)
+	b, err := appendRecordAbs(b, rec, enc)
 	if err != nil {
 		return nil, err
 	}
-	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
-	b = append(b, payload...)
+	payload := b[pStart:]
+	binary.BigEndian.PutUint32(b[lenAt:], uint32(len(payload)))
 	return binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(payload)), nil
 }
 

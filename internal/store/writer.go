@@ -67,7 +67,7 @@ func (w *Writer) appendLocked(rec collector.Record) error {
 		s.mem[window] = mw
 	}
 	seq := mw.firstSeq + uint64(len(mw.recs))
-	frames, err := appendWALFrame(w.pending, window, seq, rec)
+	frames, err := appendWALFrame(w.pending, window, seq, rec, s.enc)
 	if err != nil {
 		return err
 	}
@@ -196,10 +196,11 @@ func (s *Store) sealLocked() error {
 	for _, wd := range windows {
 		mw := s.mem[wd]
 		sort.SliceStable(mw.recs, func(i, j int) bool { return mw.recs[i].Time.Before(mw.recs[j].Time) })
-		seg, err := writeSegment(s.dir, s.nextSeg, wd, mw.firstSeq, mw.recs, nil, s.opts)
+		seg, err := writeSegment(s.dir, s.nextSeg, wd, mw.firstSeq, mw.recs, nil, s.opts, s.enc)
 		if err != nil {
 			return err
 		}
+		seg.di = s.dec
 		s.nextSeg++
 		s.segs = append(s.segs, seg)
 		s.memN -= len(mw.recs)

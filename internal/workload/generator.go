@@ -9,6 +9,7 @@ import (
 
 	"instability/internal/bgp"
 	"instability/internal/collector"
+	"instability/internal/intern"
 	"instability/internal/topology"
 )
 
@@ -17,6 +18,11 @@ type Generator struct {
 	cfg  Config
 	rng  *rand.Rand
 	topo *topology.Topology
+	// tab canonicalizes emitted attribute tuples: the stream is duplicate-
+	// dominated by construction, so every repeat announcement shares one
+	// Attrs value (path and communities included) instead of assembling a
+	// fresh tuple per record.
+	tab *intern.Table
 
 	routes []*routeState
 	// byPrefix groups route indexes by prefix (for multihoming growth and
@@ -59,12 +65,14 @@ type routeState struct {
 	cur      int
 	up       bool
 	policyC  uint16
-	// comm caches the Communities slice for the current policyC. Records
-	// share it read-only, so it is replaced (never mutated) when the policy
-	// counter moves — one allocation per policy change instead of one per
-	// announcement.
-	comm []bgp.Community
-	commPolicy uint16
+	// attrsCache holds the interned canonical Attrs for the current
+	// (cur, policyC) pair. Records share it read-only; it is rebuilt and
+	// re-interned only when the variant or policy counter moves, so steady
+	// duplicate announcements emit with zero allocations.
+	attrsCache  bgp.Attrs
+	attrsCur    int
+	attrsPolicy uint16
+	attrsOK     bool
 }
 
 // Stats summarizes a run.
@@ -87,6 +95,7 @@ func New(cfg Config) (*Generator, error) {
 		cfg:      cfg,
 		rng:      rng,
 		topo:     topo,
+		tab:      intern.New(),
 		byPrefix: make(map[string][]int),
 		stats:    Stats{OutageDays: make(map[int]bool)},
 	}
@@ -150,22 +159,22 @@ func (g *Generator) Run(onRecord func(collector.Record), onDayEnd func(day int, 
 // variant and policy value.
 func (g *Generator) announce(st *routeState, t time.Time) collector.Record {
 	st.up = true
-	attrs := bgp.Attrs{
-		Origin:  bgp.OriginIGP,
-		Path:    st.variants[st.cur],
-		NextHop: st.route.PeerAddr,
-	}
-	if st.policyC > 0 {
-		if st.comm == nil || st.commPolicy != st.policyC {
-			st.comm = []bgp.Community{bgp.Community(uint32(st.route.PeerAS)<<16 | uint32(st.policyC))}
-			st.commPolicy = st.policyC
+	if !st.attrsOK || st.attrsCur != st.cur || st.attrsPolicy != st.policyC {
+		attrs := bgp.Attrs{
+			Origin:  bgp.OriginIGP,
+			Path:    st.variants[st.cur],
+			NextHop: st.route.PeerAddr,
 		}
-		attrs.Communities = st.comm
+		if st.policyC > 0 {
+			attrs.Communities = []bgp.Community{bgp.Community(uint32(st.route.PeerAS)<<16 | uint32(st.policyC))}
+		}
+		st.attrsCache = g.tab.Attrs(attrs).Attrs()
+		st.attrsCur, st.attrsPolicy, st.attrsOK = st.cur, st.policyC, true
 	}
 	return collector.Record{
 		Time: t, Type: collector.Announce,
 		PeerAS: st.route.PeerAS, PeerAddr: st.route.PeerAddr,
-		Prefix: st.route.Prefix, Attrs: attrs,
+		Prefix: st.route.Prefix, Attrs: st.attrsCache,
 	}
 }
 

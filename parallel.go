@@ -24,6 +24,12 @@ import (
 // published results are identical to what the serial Pipeline produces from
 // the same stream.
 //
+// Each shard's Classifier and RIB own private attribute/path interners, so
+// the hot path stays lock-free. Interned IDs are therefore shard-local;
+// MergeCensuses remaps each shard's path IDs through a fresh table at the
+// barrier, which is order-independent because interning is content-addressed
+// — the serial/parallel bit-for-bit contract is unaffected.
+//
 // The feeder side (Feed, FeedBatch, EndDay, Close) must be used from one
 // goroutine, exactly like the serial Pipeline. The Events hook, when set,
 // runs on shard goroutines: it is called concurrently, in per-key order
