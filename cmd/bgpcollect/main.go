@@ -8,10 +8,18 @@
 //
 //	bgpcollect -listen :1790 -as 6000 -id 198.32.186.250 -out live.irtl.gz
 //	bgpcollect -listen :1790 -out live.irtl.gz -store livedb
+//	bgpcollect -dial rs1:179,rs2:179 -backoff-base 1s -backoff-max 2m
 //
 // Point any BGP speaker at the listen port; stop with SIGINT. The -maxconns
 // flag (default unlimited) makes the collector exit after that many sessions
 // close, which keeps scripted runs bounded.
+//
+// With -dial the collector also opens outbound peering sessions and keeps
+// them alive: a failed dial or dropped session is retried under jittered
+// exponential backoff (-backoff-base up to -backoff-max, reset after each
+// successful establishment) so a flapping route server is never hammered in
+// lockstep. The -chaos flag wraps dialed connections in seeded random delays
+// and resets, for battering the dial/backoff path against a healthy peer.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -29,6 +38,7 @@ import (
 	"instability/internal/bgp"
 	"instability/internal/collector"
 	"instability/internal/core"
+	"instability/internal/faults"
 	"instability/internal/intern"
 	"instability/internal/netaddr"
 	"instability/internal/obs"
@@ -50,8 +60,16 @@ func main() {
 		maxConns    = flag.Int("maxconns", 0, "exit after this many sessions close (0 = run until SIGINT)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 		report      = flag.Duration("report", 10*time.Second, "period of the one-line self-report (0 disables)")
+		dial        = flag.String("dial", "", "comma-separated peer addresses to dial and keep sessions with")
+		backoffBase = flag.Duration("backoff-base", 500*time.Millisecond, "first redial delay")
+		backoffMax  = flag.Duration("backoff-max", time.Minute, "redial delay cap")
+		chaosSpec   = flag.String("chaos", "", "fault dialed connections, e.g. seed=1,resetp=0.01,maxdelay=5ms")
 	)
 	flag.Parse()
+	chaosConn, err := parseConnChaos(*chaosSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	reg := obs.Default()
 	if *metricsAddr != "" {
@@ -190,11 +208,13 @@ func main() {
 	conns := make(map[net.Conn]bool)
 	stopping := false
 
-	// stop closes the listener and live sessions exactly once; both SIGINT
-	// and the -maxconns budget funnel through it.
+	// stop closes the listener and live sessions exactly once; SIGINT, the
+	// -maxconns budget, and dial-loop teardown all funnel through it.
+	stopped := make(chan struct{}) // closed by stop; unblocks backoff sleeps
 	var stopOnce sync.Once
 	stop := func() {
 		stopOnce.Do(func() {
+			close(stopped)
 			ln.Close()
 			connMu.Lock()
 			stopping = true
@@ -211,35 +231,82 @@ func main() {
 
 	var sessionsClosed atomic.Int64
 	var wg sync.WaitGroup
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			break // listener closed
-		}
+
+	// track registers a live connection; the returned release deregisters it
+	// and spends one unit of the -maxconns budget. ok=false means the
+	// collector is already stopping and the conn has been closed.
+	track := func(conn net.Conn) (release func(), ok bool) {
 		connMu.Lock()
 		if stopping {
 			connMu.Unlock()
 			conn.Close()
-			continue
+			return nil, false
 		}
 		conns[conn] = true
 		connMu.Unlock()
 		obsSessionsTotal.Inc()
 		obsSessionsOpen.Inc()
+		return func() {
+			connMu.Lock()
+			delete(conns, conn)
+			connMu.Unlock()
+			obsSessionsOpen.Dec()
+			if n := sessionsClosed.Add(1); *maxConns > 0 && n >= int64(*maxConns) {
+				stop()
+			}
+		}, true
+	}
+
+	// Outbound sessions: one dial loop per -dial address, each with its own
+	// jittered exponential backoff so redials against a flapping peer are
+	// paced and decorrelated. A successful establishment resets the schedule.
+	for i, addr := range strings.Split(*dial, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
 		wg.Add(1)
-		go func(conn net.Conn) {
+		go func(i int, addr string) {
 			defer wg.Done()
-			defer func() {
-				connMu.Lock()
-				delete(conns, conn)
-				connMu.Unlock()
-				obsSessionsOpen.Dec()
-				if n := sessionsClosed.Add(1); *maxConns > 0 && n >= int64(*maxConns) {
-					stop()
+			bo := session.Backoff{Base: *backoffBase, Max: *backoffMax}
+			for attempt := 0; ; attempt++ {
+				conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+				if err != nil {
+					log.Printf("dial %s: %v", addr, err)
+				} else {
+					if chaosConn != nil {
+						conn = chaosConn(conn, int64(i)<<16|int64(attempt))
+					}
+					release, ok := track(conn)
+					if !ok {
+						return
+					}
+					serve(conn, bgp.ASN(*asn), localID, *hold, writeRec, bo.Reset)
+					release()
 				}
-			}()
-			serve(conn, bgp.ASN(*asn), localID, *hold, writeRec)
-		}(conn)
+				select {
+				case <-stopped:
+					return
+				case <-time.After(bo.Next()):
+				}
+			}
+		}(i, addr)
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break // listener closed
+		}
+		release, ok := track(conn)
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(conn net.Conn, release func()) {
+			defer wg.Done()
+			defer release()
+			serve(conn, bgp.ASN(*asn), localID, *hold, writeRec, nil)
+		}(conn, release)
 	}
 	wg.Wait()
 	close(reportDone)
@@ -264,8 +331,10 @@ func main() {
 	}
 }
 
-// serve runs one peering session over an accepted connection.
-func serve(conn net.Conn, localAS bgp.ASN, localID netaddr.Addr, hold time.Duration, writeRec func(collector.Record)) {
+// serve runs one peering session over an accepted or dialed connection.
+// onEstablished, when non-nil, is called after the session reaches
+// Established (the dial loops hang their backoff reset on it).
+func serve(conn net.Conn, localAS bgp.ASN, localID netaddr.Addr, hold time.Duration, writeRec func(collector.Record), onEstablished func()) {
 	remote := conn.RemoteAddr()
 	var peerAS bgp.ASN
 	var peerID netaddr.Addr
@@ -275,6 +344,9 @@ func serve(conn net.Conn, localAS bgp.ASN, localID netaddr.Addr, hold time.Durat
 			peerAS, peerID = r.Peer().PeerAS(), r.Peer().PeerID()
 			log.Printf("session with %v established (AS%d, id %v)", remote, peerAS, peerID)
 			writeRec(collector.Record{Time: time.Now().UTC(), Type: collector.SessionUp, PeerAS: peerAS, PeerAddr: peerID})
+			if onEstablished != nil {
+				onEstablished()
+			}
 		},
 		Down: func(err error) {
 			log.Printf("session with %v down: %v", remote, err)
@@ -299,4 +371,42 @@ func serve(conn net.Conn, localAS bgp.ASN, localID netaddr.Addr, hold time.Durat
 	if err := r.Run(); err != nil {
 		log.Printf("session with %v ended: %v", remote, err)
 	}
+}
+
+// parseConnChaos parses the -chaos spec into a per-connection wrapper. Keys:
+// seed (base RNG seed), resetp (per-op spontaneous close probability),
+// maxdelay (uniform random pre-op delay). The per-connection salt keeps every
+// dialed conn on its own deterministic schedule.
+func parseConnChaos(spec string) (func(c net.Conn, salt int64) net.Conn, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var (
+		seed     int64
+		resetP   float64
+		maxDelay time.Duration
+	)
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -chaos element %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			seed, err = strconv.ParseInt(v, 10, 64)
+		case "resetp":
+			resetP, err = strconv.ParseFloat(v, 64)
+		case "maxdelay":
+			maxDelay, err = time.ParseDuration(v)
+		default:
+			return nil, fmt.Errorf("unknown -chaos key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bad -chaos value %q: %v", kv, err)
+		}
+	}
+	return func(c net.Conn, salt int64) net.Conn {
+		return faults.NewConn(c, seed^salt, resetP, maxDelay)
+	}, nil
 }

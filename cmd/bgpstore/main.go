@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"instability/internal/collector"
+	"instability/internal/faults"
 	"instability/internal/obs"
 	"instability/internal/store"
 )
@@ -70,16 +71,28 @@ func usage() {
 	os.Exit(2)
 }
 
-func openStore(dir string, window time.Duration, autoSeal int) *store.Store {
+func openStore(dir string, window time.Duration, autoSeal int, chaos string) *store.Store {
 	if dir == "" {
 		log.Fatal("missing -store")
 	}
-	s, err := store.Open(dir, store.Options{Window: window, AutoSealRecords: autoSeal})
+	opts := store.Options{Window: window, AutoSealRecords: autoSeal}
+	if chaos != "" {
+		plan, err := faults.ParseSpec(chaos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.FS = faults.NewInjector(faults.Disk{}, plan)
+		log.Printf("chaos: store I/O faulted with %q", chaos)
+	}
+	s, err := store.Open(dir, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	return s
 }
+
+// chaosUsage is the shared help text for the per-command -chaos flag.
+const chaosUsage = "inject deterministic store I/O faults, e.g. seed=42,failsync=3,flipreadp=0.01 (see internal/faults)"
 
 func cmdIngest(args []string) {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
@@ -88,13 +101,14 @@ func cmdIngest(args []string) {
 		window      = fs.Duration("window", 24*time.Hour, "segment time-partition width")
 		autoSeal    = fs.Int("autoseal", 1<<18, "seal automatically after this many buffered records (0 = at end only)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
+		chaos       = fs.String("chaos", "", chaosUsage)
 	)
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		log.Fatal("ingest: no input files")
 	}
 	serveMetrics(*metricsAddr)
-	s := openStore(*dir, *window, *autoSeal)
+	s := openStore(*dir, *window, *autoSeal, *chaos)
 	w := s.Writer()
 	total := 0
 	for _, path := range fs.Args() {
@@ -136,6 +150,7 @@ func cmdQuery(args []string) {
 		limit       = fs.Int("n", 0, "stop after this many records (0 = all)")
 		parallel    = fs.Int("parallel", runtime.GOMAXPROCS(0), "segment-scan decompression workers (1 = serial scan)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
+		chaos       = fs.String("chaos", "", chaosUsage)
 	)
 	fs.Parse(args)
 	q, err := store.ParseQuery(*from, *to, *peers, *origins, *prefix, *types)
@@ -143,7 +158,7 @@ func cmdQuery(args []string) {
 		log.Fatal(err)
 	}
 	serveMetrics(*metricsAddr)
-	s := openStore(*dir, 0, 0)
+	s := openStore(*dir, 0, 0, *chaos)
 	defer s.Close()
 	r, err := s.QueryParallel(q, *parallel)
 	if err != nil {
@@ -192,6 +207,9 @@ func cmdQuery(args []string) {
 		fmt.Fprintf(os.Stderr, "segments %d/%d scanned, blocks %d/%d decompressed, %d records decoded, %d matched\n",
 			st.SegmentsScanned, st.SegmentsTotal, st.BlocksScanned, st.BlocksTotal,
 			st.RecordsScanned+st.MemRecords, st.RecordsMatched)
+		if st.BlocksQuarantined > 0 {
+			fmt.Fprintf(os.Stderr, "WARNING: %d corrupt blocks quarantined (result is partial)\n", st.BlocksQuarantined)
+		}
 	}
 }
 
@@ -199,9 +217,10 @@ func cmdCompact(args []string) {
 	fs := flag.NewFlagSet("compact", flag.ExitOnError)
 	dir := fs.String("store", "", "store directory")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
+	chaos := fs.String("chaos", "", chaosUsage)
 	fs.Parse(args)
 	serveMetrics(*metricsAddr)
-	s := openStore(*dir, 0, 0)
+	s := openStore(*dir, 0, 0, *chaos)
 	defer s.Close()
 	st, err := s.Compact()
 	if err != nil {
@@ -215,7 +234,7 @@ func cmdStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	dir := fs.String("store", "", "store directory")
 	fs.Parse(args)
-	s := openStore(*dir, 0, 0)
+	s := openStore(*dir, 0, 0, "")
 	defer s.Close()
 	st := s.Stats()
 	fmt.Printf("segments      %d (%d v1 inline, %d v2 dictionary)\n", st.Segments, st.SegmentsV1, st.SegmentsV2)

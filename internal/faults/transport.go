@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Decision is the fate of one in-flight transport message.
+type Decision struct {
+	Drop  bool          // lose the message
+	Dup   bool          // deliver it twice
+	Reset bool          // tear the whole link down instead of delivering
+	Extra time.Duration // additional one-way delay
+}
+
+// Transport draws seeded per-message chaos decisions for a session pipe:
+// drop, duplicate, delay, reset. The zero value injects nothing; all fields
+// may be set before traffic starts. Decide is safe for concurrent use.
+type Transport struct {
+	// DropProb loses a message with this probability.
+	DropProb float64
+	// DupProb delivers a message twice with this probability.
+	DupProb float64
+	// ResetProb tears the link down (both FSMs see TransportDown) instead
+	// of delivering, with this probability.
+	ResetProb float64
+	// MaxExtraDelay adds a uniform random delay in [0, MaxExtraDelay) to
+	// each delivery.
+	MaxExtraDelay time.Duration
+
+	// Counters of injected faults, readable after a run.
+	Drops, Dups, Resets int
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewTransport returns a Transport drawing from the given seed.
+func NewTransport(seed int64) *Transport {
+	return &Transport{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Decide draws the fate of one message. Reset preempts drop and duplicate.
+func (t *Transport) Decide() Decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rng == nil {
+		t.rng = rand.New(rand.NewSource(0))
+	}
+	var d Decision
+	if t.ResetProb > 0 && t.rng.Float64() < t.ResetProb {
+		t.Resets++
+		d.Reset = true
+		return d
+	}
+	if t.DropProb > 0 && t.rng.Float64() < t.DropProb {
+		t.Drops++
+		d.Drop = true
+		return d
+	}
+	if t.DupProb > 0 && t.rng.Float64() < t.DupProb {
+		t.Dups++
+		d.Dup = true
+	}
+	if t.MaxExtraDelay > 0 {
+		d.Extra = time.Duration(t.rng.Int63n(int64(t.MaxExtraDelay)))
+	}
+	return d
+}
+
+// Conn wraps a live net.Conn with seeded chaos: random pre-read/write
+// delays and spontaneous resets (the conn is closed and the op fails with
+// ErrInjected). It exists so bgpcollect -chaos can batter its own dial and
+// backoff paths against a cooperative peer without external tooling.
+type Conn struct {
+	net.Conn
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	resetPer float64
+	maxDelay time.Duration
+}
+
+// NewConn wraps c: each Read/Write first sleeps a uniform random duration in
+// [0, maxDelay), then with probability resetPer closes the connection and
+// fails with ErrInjected.
+func NewConn(c net.Conn, seed int64, resetPer float64, maxDelay time.Duration) *Conn {
+	return &Conn{Conn: c, rng: rand.New(rand.NewSource(seed)), resetPer: resetPer, maxDelay: maxDelay}
+}
+
+// chaos draws one delay/reset decision; it reports whether the op should
+// fail after closing the conn.
+func (c *Conn) chaos() bool {
+	c.mu.Lock()
+	var sleep time.Duration
+	if c.maxDelay > 0 {
+		sleep = time.Duration(c.rng.Int63n(int64(c.maxDelay)))
+	}
+	reset := c.resetPer > 0 && c.rng.Float64() < c.resetPer
+	c.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if reset {
+		c.Conn.Close()
+	}
+	return reset
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.chaos() {
+		return 0, ErrInjected
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.chaos() {
+		return 0, ErrInjected
+	}
+	return c.Conn.Write(p)
+}

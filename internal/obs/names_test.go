@@ -1,0 +1,41 @@
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"instability/internal/obs"
+
+	// Imported for their package-level metric registration side effects:
+	// the names below are part of the operational interface (dashboards
+	// and alerts key on them), so their existence is pinned here.
+	_ "instability/internal/session"
+	_ "instability/internal/store"
+)
+
+// TestMetricNamesPublished pins the externally visible metric names of the
+// fault plane and degraded-mode paths. Renaming one of these silently breaks
+// every dashboard and alert that watches it; this test makes the rename loud.
+func TestMetricNamesPublished(t *testing.T) {
+	var sb strings.Builder
+	if err := obs.Default().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exposition := sb.String()
+	names := []string{
+		// Degraded reads: corrupt sealed blocks skipped by queries.
+		"irtl_store_quarantined_blocks",
+		// Collector reconnect loops: dial attempts and chosen backoff.
+		"irtl_session_redials_total",
+		"irtl_session_backoff_seconds",
+		// Pre-existing store and session families the tools already scrape.
+		"irtl_store_append_records_total",
+		"irtl_store_queries_total",
+		"irtl_session_queue_drops_total",
+	}
+	for _, name := range names {
+		if !strings.Contains(exposition, "# TYPE "+name+" ") {
+			t.Errorf("metric %q not registered on the default registry", name)
+		}
+	}
+}

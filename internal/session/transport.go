@@ -6,6 +6,7 @@ import (
 
 	"instability/internal/bgp"
 	"instability/internal/events"
+	"instability/internal/faults"
 )
 
 // Pipe couples two Peers through the discrete-event simulator with a fixed
@@ -22,6 +23,11 @@ type Pipe struct {
 	// Verify marshals and re-parses every message in flight, so simulated
 	// traffic exercises the full wire codec. Off by default for speed.
 	Verify bool
+	// Chaos, when non-nil, consults a seeded fault plan on every transmit:
+	// messages may be dropped, duplicated, or delayed, and a reset tears the
+	// whole link down (both FSMs see TransportDown). Nil means a faithful
+	// link.
+	Chaos *faults.Transport
 	// Delivered counts messages that completed transit in each direction.
 	DeliveredAB, DeliveredBA int
 	epoch                    uint64 // invalidates in-flight messages on Down
@@ -87,19 +93,37 @@ func (l *Pipe) transmit(msg bgp.Message, fromA bool) {
 		}
 		msg = decoded
 	}
+	delay, copies := l.delay, 1
+	if l.Chaos != nil {
+		d := l.Chaos.Decide()
+		switch {
+		case d.Reset:
+			// Fail the link from a fresh event, not from inside the FSM
+			// action that is sending this message: Down re-enters both FSMs.
+			l.sim.Schedule(0, l.Down)
+			return
+		case d.Drop:
+			return
+		case d.Dup:
+			copies = 2
+		}
+		delay += d.Extra
+	}
 	epoch := l.epoch
-	l.sim.Schedule(l.delay, func() {
-		if !l.up || l.epoch != epoch {
-			return // lost in transit
-		}
-		if fromA {
-			l.DeliveredAB++
-			l.b.Deliver(msg)
-		} else {
-			l.DeliveredBA++
-			l.a.Deliver(msg)
-		}
-	})
+	for c := 0; c < copies; c++ {
+		l.sim.Schedule(delay, func() {
+			if !l.up || l.epoch != epoch {
+				return // lost in transit
+			}
+			if fromA {
+				l.DeliveredAB++
+				l.b.Deliver(msg)
+			} else {
+				l.DeliveredBA++
+				l.a.Deliver(msg)
+			}
+		})
+	}
 }
 
 // Establish runs the standard bring-up sequence for a freshly built pair:

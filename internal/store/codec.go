@@ -16,6 +16,10 @@ import (
 // ErrCorrupt reports a damaged segment or WAL structure.
 var ErrCorrupt = errors.New("store: corrupt data")
 
+// isCorrupt distinguishes data damage (quarantinable: skip the block, keep
+// the scan) from I/O failure (fail the scan with a partial-scan error).
+func isCorrupt(err error) bool { return errors.Is(err, ErrCorrupt) }
+
 // attrEncoder memoizes the wire encoding of attribute tuples: the same
 // duplicate-dominated stream that motivates interning means the writer would
 // otherwise re-marshal identical path attributes for nearly every record.

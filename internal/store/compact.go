@@ -2,7 +2,6 @@ package store
 
 import (
 	"container/heap"
-	"os"
 	"sort"
 	"time"
 
@@ -57,7 +56,7 @@ func (s *Store) Compact() (CompactStats, error) {
 		kept := s.segs[:0]
 		for _, g := range s.segs {
 			if old[g.seq] {
-				os.Remove(g.path)
+				s.fs.Remove(g.path)
 				continue
 			}
 			kept = append(kept, g)
@@ -86,7 +85,11 @@ func (s *Store) mergeWindowLocked(window int64, gs []*segment) (*segment, error)
 		for i := range blocks {
 			blocks[i] = i
 		}
-		f, err := os.Open(g.path)
+		// Note: no quarantine here. A compaction that hit a corrupt block
+		// and skipped it would rewrite the window without those records,
+		// converting detectable damage into silent loss; the merge fails
+		// instead and leaves the inputs in place.
+		f, err := s.fs.Open(g.path)
 		if err != nil {
 			closeAll()
 			return nil, err
@@ -132,7 +135,7 @@ func (s *Store) mergeWindowLocked(window int64, gs []*segment) (*segment, error)
 	// Seal-assigned sequence ranges within a window are contiguous across
 	// its segments, so the merged range is exactly [firstSeq, lastSeq] and
 	// writeSegment's firstSeq+len-1 arithmetic reproduces lastSeq.
-	merged, err := writeSegment(s.dir, s.nextSeg, window, firstSeq, out, replaces, s.opts, s.enc)
+	merged, err := writeSegment(s.fs, s.dir, s.nextSeg, window, firstSeq, out, replaces, s.opts, s.enc)
 	if err != nil {
 		return nil, err
 	}

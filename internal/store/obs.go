@@ -53,6 +53,9 @@ var (
 	obsQueryRecordsMatched = obs.Default().Counter("irtl_store_query_records_matched_total",
 		"Records that satisfied the full query predicate.")
 
+	obsQuarantinedBlocks = obs.Default().Counter("irtl_store_quarantined_blocks",
+		"Corrupt segment blocks skipped (quarantined) by queries instead of failing the scan.")
+
 	obsParallelScans = obs.Default().Counter("irtl_store_parallel_scans_total",
 		"Queries executed through the parallel scan path.")
 	obsScanWorkers = obs.Default().Gauge("irtl_store_scan_workers",

@@ -2,24 +2,27 @@ package store
 
 import (
 	"container/heap"
+	"fmt"
 	"io"
-	"os"
+	"log"
 	"sort"
 
 	"instability/internal/collector"
+	"instability/internal/faults"
 )
 
 // ScanStats reports how much work a query actually did, making predicate
 // pushdown measurable: a filtered query over a multi-segment store should
 // show BlocksScanned (decompressed) well below BlocksTotal.
 type ScanStats struct {
-	SegmentsTotal   int // sealed segments in the store at query time
-	SegmentsScanned int // segments not skipped by segment-level pruning
-	BlocksTotal     int // blocks across all segments
-	BlocksScanned   int // blocks actually decompressed
-	RecordsScanned  int // records decoded from those blocks
-	RecordsMatched  int // records that satisfied the full predicate
-	MemRecords      int // unsealed records considered from the memtable
+	SegmentsTotal     int // sealed segments in the store at query time
+	SegmentsScanned   int // segments not skipped by segment-level pruning
+	BlocksTotal       int // blocks across all segments
+	BlocksScanned     int // blocks actually decompressed
+	BlocksQuarantined int // corrupt blocks skipped instead of failing the scan
+	RecordsScanned    int // records decoded from those blocks
+	RecordsMatched    int // records that satisfied the full predicate
+	MemRecords        int // unsealed records considered from the memtable
 }
 
 // Reader streams the result of a Query in timestamp order. It implements
@@ -30,6 +33,7 @@ type Reader struct {
 	stats   ScanStats
 	streams recHeap
 	pool    *scanPool // non-nil only for QueryParallel readers
+	err     error     // sticky terminal scan error
 	closed  bool
 }
 
@@ -55,20 +59,21 @@ func (s *Store) Query(q Query) (*Reader, error) {
 		if len(blocks) == 0 {
 			continue
 		}
-		f, err := os.Open(g.path)
+		f, err := s.fs.Open(g.path)
 		if err != nil {
 			r.Close()
 			return nil, err
 		}
-		sc := &segStream{r: r, seg: g, f: f, blocks: blocks, order: g.seq}
+		sc := &segStream{r: r, seg: g, f: f, blocks: blocks, order: g.seq, quarantine: true}
 		if err := sc.advance(); err != nil {
+			r.retire(sc)
 			r.Close()
 			return nil, err
 		}
 		if sc.ok {
 			r.streams = append(r.streams, sc)
 		} else {
-			sc.close()
+			r.retire(sc)
 		}
 	}
 
@@ -84,22 +89,32 @@ func (s *Store) Query(q Query) (*Reader, error) {
 }
 
 // Next returns the next matching record, io.EOF at the end of the result.
+//
+// A non-corruption I/O failure mid-scan (corrupt blocks are quarantined, not
+// errored) ends the result: the error is sticky, every later Next returns
+// the same partial-scan error, and the records already returned remain a
+// valid prefix of the merged sequence. The Reader must still be Closed.
 func (r *Reader) Next() (collector.Record, error) {
+	if r.err != nil {
+		return collector.Record{}, r.err
+	}
 	for len(r.streams) > 0 {
 		st := r.streams[0]
 		rec, ok := st.head()
 		if !ok {
 			heap.Pop(&r.streams)
-			st.close()
+			r.retire(st)
 			continue
 		}
 		if err := st.advance(); err != nil {
-			return collector.Record{}, err
+			r.err = fmt.Errorf("store: partial scan: %w", err)
+			return collector.Record{}, r.err
 		}
 		heap.Fix(&r.streams, 0)
-		scanned, blocks := st.drain()
+		scanned, blocks, quarantined := st.drain()
 		r.stats.RecordsScanned += scanned
 		r.stats.BlocksScanned += blocks
+		r.stats.BlocksQuarantined += quarantined
 		if !r.q.match(rec) {
 			continue
 		}
@@ -135,10 +150,10 @@ func (r *Reader) Close() error {
 		return nil
 	}
 	r.closed = true
-	publishScanStats(r.stats)
 	for _, st := range r.streams {
-		st.close()
+		r.retire(st)
 	}
+	publishScanStats(r.stats)
 	r.streams = nil
 	if r.pool != nil {
 		// Workers deliver into single-slot buffered channels, so they never
@@ -147,6 +162,17 @@ func (r *Reader) Close() error {
 		r.pool = nil
 	}
 	return nil
+}
+
+// retire folds a stream's undrained accounting into the reader's stats and
+// closes it, so blocks scanned or quarantined during a stream's final
+// advance (or before an early Close) are never under-reported.
+func (r *Reader) retire(st stream) {
+	scanned, blocks, quarantined := st.drain()
+	r.stats.RecordsScanned += scanned
+	r.stats.BlocksScanned += blocks
+	r.stats.BlocksQuarantined += quarantined
+	st.close()
 }
 
 // memSnapshotLocked copies the memtable records matching q, sorted by time,
@@ -210,17 +236,27 @@ type stream interface {
 	advance() error
 	// less orders streams by current head; ties broken by stream order.
 	key() (t int64, order uint64)
-	// drain returns and resets the records/blocks scanned since the last
-	// call, for incremental accounting into Reader.stats.
-	drain() (scanned, blocks int)
+	// drain returns and resets the records/blocks scanned and blocks
+	// quarantined since the last call, for incremental accounting into
+	// Reader.stats.
+	drain() (scanned, blocks, quarantined int)
 	close()
+}
+
+// quarantineBlock records one corrupt block skipped by a query: the process
+// counter moves immediately (so a live scrape sees damage as it is found)
+// and the segment is named in the log, since a quarantined block means bad
+// media or a torn seal that an operator should know about.
+func quarantineBlock(path string, bi int, err error) {
+	obsQuarantinedBlocks.Inc()
+	log.Printf("store: quarantined corrupt block %d of %s: %v", bi, path, err)
 }
 
 // segStream iterates the candidate blocks of one segment.
 type segStream struct {
 	r      *Reader
 	seg    *segment
-	f      *os.File
+	f      faults.File
 	blocks []int
 	bi     int
 	recs   []collector.Record
@@ -228,9 +264,15 @@ type segStream struct {
 	cur    collector.Record
 	ok     bool
 	order  uint64
+	// quarantine skips corrupt blocks instead of failing the scan. Queries
+	// set it; compaction merges leave it off, because silently dropping a
+	// block while rewriting segments would turn detectable damage into
+	// permanent record loss.
+	quarantine bool
 
-	scanned    int // records decoded since last drain into Reader.stats
-	blocksRead int
+	scanned     int // records decoded since last drain into Reader.stats
+	blocksRead  int
+	quarantined int
 }
 
 func (sc *segStream) head() (collector.Record, bool) { return sc.cur, sc.ok }
@@ -251,8 +293,14 @@ func (sc *segStream) advance() error {
 		// is handed back for reuse — one record buffer per stream, total.
 		recs, err := sc.seg.readBlock(sc.f, sc.blocks[sc.bi], sc.recs)
 		if err != nil {
+			if sc.quarantine && isCorrupt(err) {
+				quarantineBlock(sc.seg.path, sc.blocks[sc.bi], err)
+				sc.quarantined++
+				sc.bi++
+				continue
+			}
 			sc.ok = false
-			return err
+			return fmt.Errorf("segment %s: %w", sc.seg.path, err)
 		}
 		sc.bi++
 		sc.blocksRead++
@@ -263,10 +311,10 @@ func (sc *segStream) advance() error {
 
 func (sc *segStream) key() (int64, uint64) { return sc.cur.Time.UnixNano(), sc.order }
 
-func (sc *segStream) drain() (int, int) {
-	s, b := sc.scanned, sc.blocksRead
-	sc.scanned, sc.blocksRead = 0, 0
-	return s, b
+func (sc *segStream) drain() (int, int, int) {
+	s, b, q := sc.scanned, sc.blocksRead, sc.quarantined
+	sc.scanned, sc.blocksRead, sc.quarantined = 0, 0, 0
+	return s, b, q
 }
 
 func (sc *segStream) close() {
@@ -300,7 +348,7 @@ func (ms *memStream) advance() error {
 
 func (ms *memStream) key() (int64, uint64) { return ms.cur.Time.UnixNano(), ms.order }
 
-func (ms *memStream) drain() (int, int) { return 0, 0 }
+func (ms *memStream) drain() (int, int, int) { return 0, 0, 0 }
 
 func (ms *memStream) close() {}
 

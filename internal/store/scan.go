@@ -2,11 +2,14 @@ package store
 
 import (
 	"container/heap"
-	"os"
+	"fmt"
+	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"instability/internal/collector"
+	"instability/internal/faults"
 )
 
 // Parallel query execution. QueryParallel produces the exact record sequence
@@ -29,7 +32,7 @@ const scanLookahead = 2
 
 type blockTask struct {
 	seg *segment
-	f   *os.File
+	f   io.ReaderAt
 	bi  int
 	out chan<- blockResult // cap 1: workers never block on delivery
 }
@@ -45,8 +48,21 @@ type blockResult struct {
 // set of live buffers instead of allocating one per block per query.
 var recBufPool = sync.Pool{New: func() any { return new([]collector.Record) }}
 
-func getRecBuf() []collector.Record  { return *recBufPool.Get().(*[]collector.Record) }
-func putRecBuf(b []collector.Record) { recBufPool.Put(&b) }
+// recBufsLive is the get/put balance of recBufPool. It returns to zero when
+// every code path — including every error path — hands its buffer back; the
+// leak-check tests assert exactly that.
+var recBufsLive atomic.Int64
+
+func getRecBuf() []collector.Record {
+	recBufsLive.Add(1)
+	return *recBufPool.Get().(*[]collector.Record)
+}
+
+func putRecBuf(b []collector.Record) {
+	recBufsLive.Add(-1)
+	b = b[:0]
+	recBufPool.Put(&b)
+}
 
 // scanPool is a fixed set of decompression workers shared by all streams of
 // one parallel reader. Each worker owns a blockReader for its lifetime, so
@@ -65,7 +81,15 @@ func newScanPool(workers, queue int) *scanPool {
 			br := blockReaderPool.Get().(*blockReader)
 			defer blockReaderPool.Put(br)
 			for t := range p.tasks {
-				recs, err := t.seg.readBlockWith(br, t.f, t.bi, getRecBuf())
+				buf := getRecBuf()
+				recs, err := t.seg.readBlockWith(br, t.f, t.bi, buf)
+				if err != nil {
+					// readBlockWith returns nil recs on failure; hand the
+					// pooled buffer back here or it leaks on every corrupt
+					// or unreadable block.
+					putRecBuf(buf)
+					recs = nil
+				}
 				t.out <- blockResult{recs: recs, err: err}
 			}
 		}()
@@ -76,10 +100,10 @@ func newScanPool(workers, queue int) *scanPool {
 func (p *scanPool) submit(t blockTask) { p.tasks <- t }
 
 // shutdown stops accepting tasks and waits for the workers to exit. Queued
-// tasks are still executed; their results land in buffered channels nobody
-// reads and are collected with them. A task whose file was already closed
-// fails with os.ErrClosed, which is equally unread — ReadAt on a closed
-// *os.File is defined behavior, not a race.
+// tasks are still executed; their results land in buffered channels whose
+// streams drain them at close. A task whose file was already closed fails
+// with os.ErrClosed, which the draining stream discards — ReadAt on a closed
+// file is defined behavior, not a race.
 func (p *scanPool) shutdown() {
 	close(p.tasks)
 	p.wg.Wait()
@@ -89,6 +113,11 @@ func (p *scanPool) shutdown() {
 // result order and ScanStats accounting are identical to Query; workers <= 1
 // (or a scan with at most one candidate block) falls back to the serial
 // reader. The returned Reader must be Closed to release the worker pool.
+//
+// Failure behavior matches Query: corrupt blocks are quarantined (skipped
+// and counted), I/O errors surface as a sticky partial-scan error from Next,
+// and an error during setup closes every segment file already opened and
+// drains every in-flight worker before returning.
 func (s *Store) QueryParallel(q Query, workers int) (*Reader, error) {
 	if workers <= 1 {
 		return s.Query(q)
@@ -129,41 +158,44 @@ func (s *Store) QueryParallel(q Query, workers int) (*Reader, error) {
 		obsScanWorkers.SetInt(int64(workers))
 		r.pool = newScanPool(workers, 2*workers)
 		for _, c := range cands {
-			f, err := os.Open(c.seg.path)
+			f, err := s.fs.Open(c.seg.path)
 			if err != nil {
+				// r.Close drains the streams (and their in-flight blocks)
+				// already set up, then shuts the pool down.
 				r.Close()
 				return nil, err
 			}
 			sc := &parSegStream{seg: c.seg, f: f, pool: r.pool, blocks: c.blocks, order: c.seg.seq}
 			sc.fill()
 			if err := sc.advance(); err != nil {
-				sc.close()
+				r.retire(sc)
 				r.Close()
 				return nil, err
 			}
 			if sc.ok {
 				r.streams = append(r.streams, sc)
 			} else {
-				sc.close()
+				r.retire(sc)
 			}
 		}
 	} else {
 		// One block total: the pool would only add handoff overhead.
 		for _, c := range cands {
-			f, err := os.Open(c.seg.path)
+			f, err := s.fs.Open(c.seg.path)
 			if err != nil {
 				r.Close()
 				return nil, err
 			}
-			sc := &segStream{r: r, seg: c.seg, f: f, blocks: c.blocks, order: c.seg.seq}
+			sc := &segStream{r: r, seg: c.seg, f: f, blocks: c.blocks, order: c.seg.seq, quarantine: true}
 			if err := sc.advance(); err != nil {
+				r.retire(sc)
 				r.Close()
 				return nil, err
 			}
 			if sc.ok {
 				r.streams = append(r.streams, sc)
 			} else {
-				sc.close()
+				r.retire(sc)
 			}
 		}
 	}
@@ -182,19 +214,22 @@ func (s *Store) QueryParallel(q Query, workers int) (*Reader, error) {
 // merge consumer goroutine; only the pool workers touch the segment file.
 type parSegStream struct {
 	seg     *segment
-	f       *os.File
+	f       faults.File
 	pool    *scanPool
-	blocks  []int
-	nextSub int                 // next index into blocks to submit
-	pending []chan blockResult  // FIFO of in-flight block results
+	blocks    []int
+	nextSub   int                // next index into blocks to submit
+	pending   []chan blockResult // FIFO of in-flight block results
+	pendingBi []int              // block index of each pending result
 	recs    []collector.Record
+	pooled  bool // recs came from recBufPool and must go back
 	ri      int
 	cur     collector.Record
 	ok      bool
 	order   uint64
 
-	scanned    int
-	blocksRead int
+	scanned     int
+	blocksRead  int
+	quarantined int
 }
 
 // fill tops the in-flight window up to scanLookahead+1 submitted blocks.
@@ -203,6 +238,7 @@ func (sc *parSegStream) fill() {
 		out := make(chan blockResult, 1)
 		sc.pool.submit(blockTask{seg: sc.seg, f: sc.f, bi: sc.blocks[sc.nextSub], out: out})
 		sc.pending = append(sc.pending, out)
+		sc.pendingBi = append(sc.pendingBi, sc.blocks[sc.nextSub])
 		sc.nextSub++
 	}
 }
@@ -224,35 +260,59 @@ func (sc *parSegStream) advance() error {
 		t0 := time.Now()
 		res := <-sc.pending[0]
 		obsScanMergeWait.ObserveSince(t0)
+		bi := sc.pendingBi[0]
 		sc.pending = sc.pending[1:]
+		sc.pendingBi = sc.pendingBi[1:]
 		if res.err != nil {
+			if isCorrupt(res.err) {
+				quarantineBlock(sc.seg.path, bi, res.err)
+				sc.quarantined++
+				sc.fill()
+				continue
+			}
 			sc.ok = false
-			return res.err
+			return fmt.Errorf("segment %s: %w", sc.seg.path, res.err)
 		}
 		sc.blocksRead++
 		sc.scanned += len(res.recs)
 		// The previous block's records are all consumed (copied out by
 		// value), so its buffer goes back to the workers.
-		if cap(sc.recs) > 0 {
+		if sc.pooled {
 			putRecBuf(sc.recs)
 		}
-		sc.recs, sc.ri = res.recs, 0
+		sc.recs, sc.ri, sc.pooled = res.recs, 0, true
 		sc.fill()
 	}
 }
 
 func (sc *parSegStream) key() (int64, uint64) { return sc.cur.Time.UnixNano(), sc.order }
 
-func (sc *parSegStream) drain() (int, int) {
-	s, b := sc.scanned, sc.blocksRead
-	sc.scanned, sc.blocksRead = 0, 0
-	return s, b
+func (sc *parSegStream) drain() (int, int, int) {
+	s, b, q := sc.scanned, sc.blocksRead, sc.quarantined
+	sc.scanned, sc.blocksRead, sc.quarantined = 0, 0, 0
+	return s, b, q
 }
 
+// close releases the stream's file and reclaims every pooled buffer it still
+// owns. In-flight results are received, not abandoned: the workers are alive
+// until the reader shuts the pool down (which happens only after all streams
+// close), and every submitted task delivers exactly one result into its
+// single-slot channel, so this drain never blocks indefinitely and no buffer
+// is stranded in an unread channel.
 func (sc *parSegStream) close() {
+	for _, ch := range sc.pending {
+		res := <-ch
+		if res.recs != nil {
+			putRecBuf(res.recs)
+		}
+	}
+	sc.pending, sc.pendingBi = nil, nil
+	if sc.pooled {
+		putRecBuf(sc.recs)
+		sc.recs, sc.pooled = nil, false
+	}
 	if sc.f != nil {
 		sc.f.Close()
 		sc.f = nil
 	}
-	sc.pending = nil
 }

@@ -6,13 +6,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"instability/internal/bgp"
 	"instability/internal/collector"
+	"instability/internal/faults"
 )
 
 // Segment file naming and framing.
@@ -60,7 +60,7 @@ func segName(seq uint64) string { return fmt.Sprintf("%s%08d%s", segPrefix, seq,
 // writeSegment seals recs (already sorted by time) into a new segment file
 // in dir. The write is crash-safe: the file is assembled under a .tmp name
 // and renamed into place.
-func writeSegment(dir string, seq uint64, windowStart int64, firstSeq uint64, recs []collector.Record, replaces []uint64, opts Options, enc *attrEncoder) (*segment, error) {
+func writeSegment(fsys faults.FS, dir string, seq uint64, windowStart int64, firstSeq uint64, recs []collector.Record, replaces []uint64, opts Options, enc *attrEncoder) (*segment, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("store: sealing empty segment")
 	}
@@ -212,28 +212,28 @@ func writeSegment(dir string, seq uint64, windowStart int64, firstSeq uint64, re
 
 	path := filepath.Join(dir, segName(seq))
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return nil, err
 	}
 	if _, err := f.Write(buf.Bytes()); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, err
 	}
 	if opts.Sync {
 		if err := f.Sync(); err != nil {
 			f.Close()
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 			return nil, err
 		}
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return nil, err
 	}
 	return &segment{
@@ -253,8 +253,8 @@ func writeSegment(dir string, seq uint64, windowStart int64, firstSeq uint64, re
 }
 
 // openSegment reads a segment's footer and index into memory.
-func openSegment(path string) (*segment, error) {
-	f, err := os.Open(path)
+func openSegment(fsys faults.FS, path string) (*segment, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -345,7 +345,7 @@ var blockReaderPool = sync.Pool{New: func() any { return new(blockReader) }}
 // previous result may pass it back as dst to reuse its backing array (the
 // serial scan does, so a stream allocates one record buffer total); callers
 // whose results outlive the next call must pass nil.
-func (g *segment) readBlock(f *os.File, bi int, dst []collector.Record) ([]collector.Record, error) {
+func (g *segment) readBlock(f io.ReaderAt, bi int, dst []collector.Record) ([]collector.Record, error) {
 	br := blockReaderPool.Get().(*blockReader)
 	defer blockReaderPool.Put(br)
 	return g.readBlockWith(br, f, bi, dst)
@@ -354,7 +354,17 @@ func (g *segment) readBlock(f *os.File, bi int, dst []collector.Record) ([]colle
 // readBlockWith is readBlock against caller-owned scratch state; the
 // parallel scan workers each hold one blockReader for their whole lifetime.
 // f must support concurrent ReadAt (os.File does).
-func (g *segment) readBlockWith(br *blockReader, f *os.File, bi int, dst []collector.Record) ([]collector.Record, error) {
+func (g *segment) readBlockWith(br *blockReader, f io.ReaderAt, bi int, dst []collector.Record) (_ []collector.Record, err error) {
+	// A failed read or decode can leave the flate reader mid-stream and the
+	// dictionary half-built; poison both so a recycled blockReader never
+	// leaks one block's state into the next (the next use rebuilds from
+	// scratch instead of trusting Reset on a wedged reader).
+	defer func() {
+		if err != nil {
+			br.fr = nil
+			br.dict = br.dict[:0]
+		}
+	}()
 	bm := g.index.blocks[bi]
 	if cap(br.cb) < int(bm.clen) {
 		br.cb = make([]byte, bm.clen)
@@ -374,8 +384,10 @@ func (g *segment) readBlockWith(br *blockReader, f *os.File, bi int, dst []colle
 	if _, err := io.Copy(&br.raw, br.fr); err != nil {
 		return nil, fmt.Errorf("%w: block %d: %v", ErrCorrupt, bi, err)
 	}
+	// A Close error here is a truncated or damaged flate stream, i.e.
+	// corruption, not an I/O failure — classify it so quarantine applies.
 	if err := br.fr.Close(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: block %d: %v", ErrCorrupt, bi, err)
 	}
 	b := br.raw.Bytes()
 

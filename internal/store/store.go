@@ -43,7 +43,6 @@ package store
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -51,6 +50,7 @@ import (
 	"time"
 
 	"instability/internal/collector"
+	"instability/internal/faults"
 )
 
 // Options tunes a store. The zero value is usable; fields are defaulted by
@@ -79,6 +79,11 @@ type Options struct {
 	// BloomBitsPerKey sizes the per-segment prefix bloom filter. Default 10
 	// (~1% false positives).
 	BloomBitsPerKey int
+	// FS is the filesystem the store performs all I/O through. Nil means
+	// the real disk; tests and chaos runs install a faults.Injector to
+	// exercise write errors, torn writes, fsync failures, crashes, and
+	// read bit-flips deterministically.
+	FS faults.FS
 	// formatVersion selects the segment block format for newly written
 	// segments. Unexported: production stores always write the current
 	// version; tests set it to segVersionV1 to produce compatibility
@@ -99,6 +104,9 @@ func (o Options) withDefaults() Options {
 	if o.BloomBitsPerKey <= 0 {
 		o.BloomBitsPerKey = 10
 	}
+	if o.FS == nil {
+		o.FS = faults.Disk{}
+	}
 	if o.formatVersion == 0 {
 		o.formatVersion = segVersionV2
 	}
@@ -110,6 +118,7 @@ func (o Options) withDefaults() Options {
 type Store struct {
 	dir  string
 	opts Options
+	fs   faults.FS
 
 	mu      sync.Mutex
 	segs    []*segment // sorted by (windowStart, seq)
@@ -138,32 +147,34 @@ type memWindow struct {
 // any unsealed records from its WAL.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	s := &Store{
 		dir:  dir,
 		opts: opts,
+		fs:   fsys,
 		mem:  make(map[int64]*memWindow),
 		enc:  newAttrEncoder(),
 		dec:  newDecodeInterner(),
 	}
 	s.writer = Writer{s: s}
 
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	for _, e := range entries {
 		name := e.Name()
 		if strings.HasSuffix(name, ".tmp") {
-			os.Remove(filepath.Join(dir, name)) // half-written seal or compact
+			fsys.Remove(filepath.Join(dir, name)) // half-written seal or compact
 			continue
 		}
 		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
 			continue
 		}
-		seg, err := openSegment(filepath.Join(dir, name))
+		seg, err := openSegment(fsys, filepath.Join(dir, name))
 		if err != nil {
 			return nil, fmt.Errorf("store: segment %s: %w", name, err)
 		}
@@ -182,7 +193,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	// window are duplicates from a crash between seal and truncate; skip
 	// them. The rest become the recovered memtable.
 	sealed := s.sealedSeqs()
-	w, entries2, err := openWAL(filepath.Join(dir, walName))
+	w, entries2, err := openWAL(fsys, filepath.Join(dir, walName))
 	if err != nil {
 		return nil, err
 	}
@@ -236,7 +247,7 @@ func (s *Store) dropReplaced() {
 	kept := s.segs[:0]
 	for _, g := range s.segs {
 		if replaced[g.seq] {
-			os.Remove(g.path)
+			s.fs.Remove(g.path)
 			continue
 		}
 		kept = append(kept, g)

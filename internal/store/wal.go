@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"instability/internal/collector"
+	"instability/internal/faults"
 )
 
 const walName = "wal.log"
@@ -27,15 +28,17 @@ type walEntry struct {
 // so a torn tail (crash mid-write) is detected by length or checksum and
 // discarded on open.
 type wal struct {
-	f   *os.File
+	f   faults.File
 	off int64 // current append offset
 }
 
 // openWAL opens (creating if absent) the WAL at path and replays its intact
-// entries. A torn or corrupt tail is truncated away; everything before it is
+// entries. A torn or corrupt tail is physically truncated away — not merely
+// skipped — so the next append lands on a clean frame boundary instead of
+// burying readable entries behind garbage; everything before the tear is
 // returned.
-func openWAL(path string) (*wal, []walEntry, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func openWAL(fsys faults.FS, path string) (*wal, []walEntry, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -196,7 +196,7 @@ func (s *Store) sealLocked() error {
 	for _, wd := range windows {
 		mw := s.mem[wd]
 		sort.SliceStable(mw.recs, func(i, j int) bool { return mw.recs[i].Time.Before(mw.recs[j].Time) })
-		seg, err := writeSegment(s.dir, s.nextSeg, wd, mw.firstSeq, mw.recs, nil, s.opts, s.enc)
+		seg, err := writeSegment(s.fs, s.dir, s.nextSeg, wd, mw.firstSeq, mw.recs, nil, s.opts, s.enc)
 		if err != nil {
 			return err
 		}
