@@ -8,10 +8,14 @@
 //	bgpanalyze -in maeeast.irtl.gz -id fig8        # one figure
 //	bgpanalyze -in maeeast.irtl.gz -id all
 //	bgpanalyze -store db -from 1996-05-01 -to 1996-06-01 -peer 690 -id fig6
+//	bgpanalyze -remote localhost:1791 -from 1996-05-01 -to 1996-06-01 -id fig6
 //
 // With -store the input is an irtlstore query: the slice to classify is
 // selected by the store's indexes (time window, peer AS, origin AS, prefix)
-// instead of rescanning a flat log.
+// instead of rescanning a flat log. With -remote the same query runs against
+// a bgpserve instance over the binary record protocol — the records stream
+// back in the store's wire codec, so the classification is bit-identical to
+// opening the store locally.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"instability/internal/obs"
 	"instability/internal/report"
 	"instability/internal/rib"
+	"instability/internal/serve"
 	"instability/internal/store"
 )
 
@@ -37,6 +42,8 @@ func main() {
 	var (
 		in       = flag.String("in", "", "input log file")
 		storeDir = flag.String("store", "", "analyze an irtlstore query instead of a log file")
+		remote   = flag.String("remote", "", "analyze a query against a bgpserve instance (host:port) instead of a local store")
+		token    = flag.String("token", "", "API token for -remote (identifies the tenant for quotas)")
 		from     = flag.String("from", "", "store query: start time (inclusive)")
 		to       = flag.String("to", "", "store query: end time (exclusive)")
 		peers    = flag.String("peer", "", "store query: comma-separated peer AS list")
@@ -48,8 +55,14 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 	)
 	flag.Parse()
-	if (*in == "") == (*storeDir == "") {
-		log.Fatal("need exactly one of -in or -store")
+	sources := 0
+	for _, set := range []bool{*in != "", *storeDir != "", *remote != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		log.Fatal("need exactly one of -in, -store, or -remote")
 	}
 	if *metricsAddr != "" {
 		msrv, err := obs.Serve(*metricsAddr, obs.Default())
@@ -66,13 +79,25 @@ func main() {
 		source       string
 		err          error
 	)
-	if *in != "" {
+	switch {
+	case *in != "":
 		r, exchangeName, err = collector.OpenAny(*in)
 		if err != nil {
 			log.Fatal(err)
 		}
 		source = *in
-	} else {
+	case *remote != "":
+		c := &serve.Client{Addr: *remote, Token: *token}
+		rr, qerr := c.Query(serve.QuerySpec{
+			From: *from, To: *to, Peer: *peers, Origin: *origins, Prefix: *prefix,
+		})
+		if qerr != nil {
+			log.Fatal(qerr)
+		}
+		r = rr
+		exchangeName = "remote"
+		source = *remote
+	default:
 		q, qerr := store.ParseQuery(*from, *to, *peers, *origins, *prefix, "")
 		if qerr != nil {
 			log.Fatal(qerr)

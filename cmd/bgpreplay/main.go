@@ -22,7 +22,10 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"instability/internal/bgp"
@@ -107,10 +110,29 @@ func main() {
 	}
 	log.Printf("established with %s; replaying %s at %gx", *connect, src, *speedup)
 
+	// Graceful drain: SIGINT/SIGTERM stops feeding new records but still
+	// flushes what the session has buffered and closes the BGP session with a
+	// NOTIFICATION instead of a TCP reset. A second signal aborts.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	interrupted := false
+
 	span := reg.StartSpan("replay")
 	var sent int
 	var prev time.Time
+loop:
 	for {
+		select {
+		case sig := <-sigc:
+			log.Printf("%v: draining session (again to abort)", sig)
+			go func() {
+				<-sigc
+				log.Fatal("second signal: aborting")
+			}()
+			interrupted = true
+			break loop
+		default:
+		}
 		rec, err := r.Next()
 		if err == io.EOF {
 			break
@@ -130,7 +152,13 @@ func main() {
 				if wait > 5*time.Second {
 					wait = 5 * time.Second // cap idle stretches
 				}
-				time.Sleep(wait)
+				select {
+				case sig := <-sigc:
+					log.Printf("%v: draining session (again to abort)", sig)
+					interrupted = true
+					break loop
+				case <-time.After(wait):
+				}
 			}
 		}
 		prev = rec.Time
@@ -155,7 +183,11 @@ func main() {
 	time.Sleep(200 * time.Millisecond)
 	runner.Close()
 	<-done
-	fmt.Printf("replayed %d records\n", sent)
+	if interrupted {
+		fmt.Printf("replayed %d records (interrupted)\n", sent)
+	} else {
+		fmt.Printf("replayed %d records\n", sent)
+	}
 	if hits, misses, _ := intern.Stats(); hits+misses > 0 {
 		fmt.Printf("attr intern: %.1f%% hit rate (%d lookups, %d unique tuples)\n",
 			100*float64(hits)/float64(hits+misses), hits+misses, misses)

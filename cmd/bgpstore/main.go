@@ -207,6 +207,8 @@ func cmdQuery(args []string) {
 		fmt.Fprintf(os.Stderr, "segments %d/%d scanned, blocks %d/%d decompressed, %d records decoded, %d matched\n",
 			st.SegmentsScanned, st.SegmentsTotal, st.BlocksScanned, st.BlocksTotal,
 			st.RecordsScanned+st.MemRecords, st.RecordsMatched)
+		fmt.Fprintf(os.Stderr, "generation %d, segment-set fingerprint %016x\n",
+			s.Generation(), s.Stats().Fingerprint)
 		if st.BlocksQuarantined > 0 {
 			fmt.Fprintf(os.Stderr, "WARNING: %d corrupt blocks quarantined (result is partial)\n", st.BlocksQuarantined)
 		}
@@ -242,4 +244,6 @@ func cmdStats(args []string) {
 	fmt.Printf("records       %d sealed, %d unsealed\n", st.Records, st.MemRecords)
 	fmt.Printf("time windows  %d\n", st.Windows)
 	fmt.Printf("disk          %d bytes segments, %d bytes WAL\n", st.DiskBytes, st.WALBytes)
+	fmt.Printf("generation    %d\n", st.Generation)
+	fmt.Printf("fingerprint   %016x\n", st.Fingerprint)
 }

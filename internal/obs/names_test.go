@@ -9,6 +9,7 @@ import (
 	// Imported for their package-level metric registration side effects:
 	// the names below are part of the operational interface (dashboards
 	// and alerts key on them), so their existence is pinned here.
+	_ "instability/internal/serve"
 	_ "instability/internal/session"
 	_ "instability/internal/store"
 )
@@ -32,6 +33,17 @@ func TestMetricNamesPublished(t *testing.T) {
 		"irtl_store_append_records_total",
 		"irtl_store_queries_total",
 		"irtl_session_queue_drops_total",
+		// Serving plane (bgpserve): admission, cache, batching, streaming.
+		"irtl_serve_sessions",
+		"irtl_serve_shed_total",
+		"irtl_serve_cache_hits_total",
+		"irtl_serve_cache_misses_total",
+		"irtl_serve_cache_evictions_total",
+		"irtl_serve_cache_bytes",
+		"irtl_serve_coalesced_total",
+		"irtl_serve_records_total",
+		"irtl_serve_requests_total",
+		"irtl_serve_request_seconds",
 	}
 	for _, name := range names {
 		if !strings.Contains(exposition, "# TYPE "+name+" ") {

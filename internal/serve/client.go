@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"instability/internal/collector"
+	"instability/internal/store"
+)
+
+// Client talks to a bgpserve instance. Record streams use the binary
+// protocol (one TCP connection per query); aggregates and status use the
+// HTTP surface of the same address. The zero value is unusable — set Addr.
+type Client struct {
+	// Addr is the server's host:port.
+	Addr string
+	// Token is the API token identifying this tenant; empty is the
+	// anonymous tenant.
+	Token string
+	// DialTimeout bounds connection establishment. Default 10s.
+	DialTimeout time.Duration
+}
+
+func (c *Client) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return 10 * time.Second
+}
+
+// Query opens a streaming remote query. The returned reader implements
+// collector.RecordReader, so a remote slice drops into every pipeline a
+// local store query does. A shed request fails with an error wrapping
+// ErrBusy or ErrQuota.
+func (c *Client) Query(spec QuerySpec) (*RemoteReader, error) {
+	conn, err := net.DialTimeout("tcp", c.Addr, c.dialTimeout())
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(conn)
+	bw.WriteString(protoMagic)
+	bw.WriteByte(protoVersion)
+	payload, err := json.Marshal(wireRequest{Token: c.Token, Query: spec})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := writeFrame(bw, frameRequest, payload); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &RemoteReader{conn: conn, br: bufio.NewReaderSize(conn, 1<<16)}, nil
+}
+
+// RemoteReader streams records from one remote query.
+type RemoteReader struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	buf  []byte // undecoded remainder of the current batch
+	left uint64 // records remaining in the current batch
+	end  *wireEnd
+	err  error
+}
+
+// Next returns the next record, io.EOF at the clean end of the stream. After
+// io.EOF, Stats and Generation report the server's scan accounting.
+func (r *RemoteReader) Next() (collector.Record, error) {
+	for {
+		if r.err != nil {
+			return collector.Record{}, r.err
+		}
+		if r.end != nil {
+			return collector.Record{}, io.EOF
+		}
+		if r.left > 0 {
+			rec, rest, err := store.DecodeRecordWire(r.buf)
+			if err != nil {
+				r.err = fmt.Errorf("serve: corrupt record stream: %w", err)
+				return collector.Record{}, r.err
+			}
+			r.buf = rest
+			r.left--
+			return rec, nil
+		}
+		typ, payload, err := readFrame(r.br)
+		if err != nil {
+			r.err = fmt.Errorf("serve: reading frame: %w", err)
+			return collector.Record{}, r.err
+		}
+		switch typ {
+		case frameBatch:
+			n, used := binary.Uvarint(payload)
+			if used <= 0 {
+				r.err = fmt.Errorf("serve: corrupt batch header")
+				return collector.Record{}, r.err
+			}
+			r.buf, r.left = payload[used:], n
+		case frameEnd:
+			var end wireEnd
+			if err := json.Unmarshal(payload, &end); err != nil {
+				r.err = fmt.Errorf("serve: corrupt end frame: %w", err)
+				return collector.Record{}, r.err
+			}
+			r.end = &end
+		case frameError:
+			var we wireError
+			if err := json.Unmarshal(payload, &we); err != nil {
+				r.err = fmt.Errorf("serve: corrupt error frame: %w", err)
+			} else {
+				r.err = we.error()
+			}
+			return collector.Record{}, r.err
+		default:
+			r.err = fmt.Errorf("serve: unexpected frame type %d", typ)
+			return collector.Record{}, r.err
+		}
+	}
+}
+
+// Stats returns the server-side scan accounting; valid after io.EOF.
+func (r *RemoteReader) Stats() store.ScanStats {
+	if r.end == nil {
+		return store.ScanStats{}
+	}
+	return r.end.Stats
+}
+
+// Generation returns the store generation the result was computed under;
+// valid after io.EOF.
+func (r *RemoteReader) Generation() uint64 {
+	if r.end == nil {
+		return 0
+	}
+	return r.end.Generation
+}
+
+// Close releases the connection.
+func (r *RemoteReader) Close() error { return r.conn.Close() }
+
+// Aggregate fetches one cached aggregate over HTTP. top bounds ranked kinds
+// (0 = server default).
+func (c *Client) Aggregate(kind string, spec QuerySpec, top int) (*Aggregate, error) {
+	v := url.Values{}
+	v.Set("kind", kind)
+	if top > 0 {
+		v.Set("top", strconv.Itoa(top))
+	}
+	setSpec(v, spec)
+	body, err := c.httpGet("/v1/aggregate?" + v.Encode())
+	if err != nil {
+		return nil, err
+	}
+	var agg Aggregate
+	if err := json.Unmarshal(body, &agg); err != nil {
+		return nil, fmt.Errorf("serve: bad aggregate response: %w", err)
+	}
+	return &agg, nil
+}
+
+// Statz fetches the server's status document.
+func (c *Client) Statz() (*Statz, error) {
+	body, err := c.httpGet("/v1/statz")
+	if err != nil {
+		return nil, err
+	}
+	var st Statz
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("serve: bad statz response: %w", err)
+	}
+	return &st, nil
+}
+
+// QueryHTTP streams a record query over the HTTP NDJSON endpoint. It exists
+// so tests (and HTTP-only tenants) can prove protocol equivalence; CLIs use
+// the binary Query.
+func (c *Client) QueryHTTP(spec QuerySpec) ([]collector.Record, error) {
+	v := url.Values{}
+	setSpec(v, spec)
+	if spec.Limit > 0 {
+		v.Set("limit", strconv.Itoa(spec.Limit))
+	}
+	req, err := http.NewRequest("GET", "http://"+c.Addr+"/v1/records?"+v.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	c.auth(req)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeHTTPError(resp)
+	}
+	var out []collector.Record
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var rj RecordJSON
+		if err := dec.Decode(&rj); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("serve: bad record stream: %w", err)
+		}
+		rec, err := rj.Record()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func setSpec(v url.Values, spec QuerySpec) {
+	set := func(k, val string) {
+		if val != "" {
+			v.Set(k, val)
+		}
+	}
+	set("from", spec.From)
+	set("to", spec.To)
+	set("peer", spec.Peer)
+	set("origin", spec.Origin)
+	set("prefix", spec.Prefix)
+	set("type", spec.Type)
+}
+
+func (c *Client) httpClient() *http.Client {
+	return &http.Client{Timeout: 5 * time.Minute}
+}
+
+func (c *Client) auth(req *http.Request) {
+	if c.Token != "" {
+		req.Header.Set("X-Irtl-Token", c.Token)
+	}
+}
+
+func (c *Client) httpGet(path string) ([]byte, error) {
+	req, err := http.NewRequest("GET", "http://"+c.Addr+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.auth(req)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeHTTPError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func decodeHTTPError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var we wireError
+	if json.Unmarshal(body, &we) == nil && we.Code != "" {
+		return we.error()
+	}
+	return fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, body)
+}

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"instability/internal/obs"
+	"instability/internal/store"
+)
+
+// HTTP surface:
+//
+//	GET /v1/records?from=&to=&peer=&origin=&prefix=&type=&limit=
+//	    stream matching records as NDJSON (one RecordJSON per line)
+//	GET /v1/aggregate?kind=classes|daily|top_origins|peer_matrix&top=K&...
+//	    cached aggregate as one JSON document
+//	GET /v1/statz   store + serving-plane status
+//	GET /healthz    liveness
+//
+// The API token rides in "Authorization: Bearer <token>" or "X-Irtl-Token".
+// Shed requests answer 429 with a JSON body naming the reason, matching the
+// binary protocol's busy/quota error frames.
+
+func marshalJSON(v any) ([]byte, error) { return json.Marshal(v) }
+
+// unmarshalStrict decodes JSON rejecting unknown fields, so a typoed query
+// key fails loudly instead of silently matching everything.
+func unmarshalStrict(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Server) httpHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/records", s.handleRecords)
+	mux.HandleFunc("/v1/aggregate", s.handleAggregate)
+	mux.HandleFunc("/v1/statz", s.handleStatz)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// tokenOf extracts the API token identifying the tenant.
+func tokenOf(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+		return strings.TrimPrefix(auth, "Bearer ")
+	}
+	if tok := r.Header.Get("X-Irtl-Token"); tok != "" {
+		return tok
+	}
+	return r.URL.Query().Get("token")
+}
+
+// specOf builds a QuerySpec from URL parameters (same names as the CLI
+// flags).
+func specOf(r *http.Request) (QuerySpec, error) {
+	v := r.URL.Query()
+	spec := QuerySpec{
+		From:   v.Get("from"),
+		To:     v.Get("to"),
+		Peer:   v.Get("peer"),
+		Origin: v.Get("origin"),
+		Prefix: v.Get("prefix"),
+		Type:   v.Get("type"),
+	}
+	if l := v.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 0 {
+			return spec, fmt.Errorf("serve: bad limit %q", l)
+		}
+		spec.Limit = n
+	}
+	return spec, nil
+}
+
+// httpError writes a JSON error body with the right status: 429 for sheds,
+// 400 for bad queries, 500 otherwise.
+func httpError(w http.ResponseWriter, err error) {
+	we := wireError{Code: codeInternal, Msg: err.Error()}
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBusy):
+		we.Code, status = codeBusy, http.StatusTooManyRequests
+	case errors.Is(err, ErrQuota):
+		we.Code, status = codeQuota, http.StatusTooManyRequests
+	case errors.Is(err, errBadRequest):
+		we.Code, status = codeBadQuery, http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(we)
+}
+
+// errBadRequest marks client errors (bad predicates, unknown kinds) for
+// status mapping.
+var errBadRequest = errors.New("serve: bad request")
+
+func badRequest(err error) error { return fmt.Errorf("%w: %v", errBadRequest, err) }
+
+// admitHTTP runs the shared front door for one HTTP request and returns the
+// release func, recording per-tenant metrics either way.
+func (s *Server) admitHTTP(r *http.Request) (release func(), lat *obs.Histogram, err error) {
+	token := tokenOf(r)
+	tenant := tenantLabel(s.opts.Quotas, token)
+	reqs, lat := requestMetrics(tenant, "http")
+	reqs.Inc()
+	release, err = s.adm.admit(token, s.closed)
+	return release, lat, err
+}
+
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	release, lat, err := s.admitHTTP(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	defer release()
+	defer func() { lat.ObserveSince(t0) }()
+
+	spec, err := specOf(r)
+	if err != nil {
+		httpError(w, badRequest(err))
+		return
+	}
+	q, err := spec.Parse()
+	if err != nil {
+		httpError(w, badRequest(err))
+		return
+	}
+	span := obs.StartSpan("serve_query")
+	defer span.End()
+	rd, err := s.st.QueryParallel(q, s.opts.Workers)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	defer rd.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.Header().Set("Irtl-Generation", strconv.FormatUint(s.generation(), 10))
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		select {
+		case <-s.closed:
+			return // flush what we have; the client sees a truncated stream
+		default:
+		}
+		rec, nerr := rd.Next()
+		if nerr != nil {
+			// io.EOF is the clean end; a partial-scan error after records
+			// have been streamed can only be reported by ending the body.
+			break
+		}
+		rj, jerr := ToJSON(rec)
+		if jerr != nil {
+			break
+		}
+		if enc.Encode(rj) != nil {
+			return // client went away
+		}
+		sent++
+		obsRecordsStreamed.Inc()
+		if spec.Limit > 0 && sent >= spec.Limit {
+			break
+		}
+	}
+	span.Add(int64(sent))
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	release, lat, err := s.admitHTTP(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	defer release()
+	defer func() { lat.ObserveSince(t0) }()
+
+	kind := r.URL.Query().Get("kind")
+	if kind == "" {
+		kind = KindClasses
+	}
+	top := 0
+	if ts := r.URL.Query().Get("top"); ts != "" {
+		if top, err = strconv.Atoi(ts); err != nil || top < 0 {
+			httpError(w, badRequest(fmt.Errorf("bad top %q", ts)))
+			return
+		}
+	}
+	spec, err := specOf(r)
+	if err != nil {
+		httpError(w, badRequest(err))
+		return
+	}
+	q, err := spec.Parse()
+	if err != nil {
+		httpError(w, badRequest(err))
+		return
+	}
+	if !validKind(kind) {
+		httpError(w, badRequest(fmt.Errorf("unknown kind %q (want %v)", kind, Kinds())))
+		return
+	}
+	body, err := s.aggregate(kind, top, q)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(body)
+}
+
+func validKind(kind string) bool {
+	for _, k := range Kinds() {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Statz is the /v1/statz document.
+type Statz struct {
+	Store          store.Stats `json:"store"`
+	Generation     uint64      `json:"generation"`
+	ActiveSessions int64       `json:"active_sessions"`
+	CacheHits      uint64      `json:"cache_hits"`
+	CacheMisses    uint64      `json:"cache_misses"`
+	CacheEvictions uint64      `json:"cache_evictions"`
+	CacheBytes     int64       `json:"cache_bytes"`
+	Quotas         string      `json:"quotas"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	hits, misses, evictions, bytes := s.cache.counts()
+	st := s.st.Stats()
+	doc := Statz{
+		Store:          st,
+		Generation:     s.generation(),
+		ActiveSessions: s.ActiveSessions(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: evictions,
+		CacheBytes:     bytes,
+		Quotas:         quotasString(s.opts.Quotas, s.opts.DefaultQuota),
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(doc)
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"instability/internal/store"
+)
+
+// The binary protocol. A connection opens with a five-byte preamble —
+// "IRTQ" plus a version byte — which is also how the shared listener tells
+// binary clients from HTTP ones (no HTTP method starts with this magic).
+// Everything after the preamble is length-prefixed frames:
+//
+//	u32 payload length (big endian) | u8 frame type | payload
+//
+// The client sends one frameRequest whose payload is a JSON wireRequest
+// (token + the CLI query spelling, so the server parses predicates with
+// exactly store.ParseQuery). The server answers with zero or more
+// frameBatch frames — a uvarint record count followed by that many records
+// in the store's wire codec (store.AppendRecordWire) — terminated by one
+// frameEnd carrying the scan stats, or one frameError. Batching amortizes
+// the frame header and the syscall: a dashboard-sized result is a handful
+// of writes, not one per record.
+const (
+	protoMagic   = "IRTQ"
+	protoVersion = 1
+
+	frameRequest = 1
+	frameBatch   = 2
+	frameEnd     = 3
+	frameError   = 4
+
+	// maxFramePayload bounds a frame so a corrupt or hostile length prefix
+	// cannot make the peer allocate unbounded memory.
+	maxFramePayload = 16 << 20
+
+	// batchRecords is how many records the server packs per frameBatch,
+	// aligned with the store's block size so one decompressed block fills
+	// about one frame.
+	batchRecords = 512
+)
+
+// Error codes carried by frameError payloads.
+const (
+	codeBusy     = "busy"
+	codeQuota    = "quota"
+	codeBadQuery = "bad_query"
+	codeInternal = "internal"
+	codeShutdown = "shutdown"
+)
+
+// wireRequest is the frameRequest payload.
+type wireRequest struct {
+	Token string    `json:"token,omitempty"`
+	Query QuerySpec `json:"query"`
+}
+
+// wireEnd is the frameEnd payload: the result is complete and these are its
+// scan economics.
+type wireEnd struct {
+	Records    int             `json:"records"`
+	Generation uint64          `json:"generation"`
+	Stats      store.ScanStats `json:"stats"`
+}
+
+// wireError is the frameError payload.
+type wireError struct {
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+}
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func writeJSONFrame(w io.Writer, typ byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, typ, payload)
+}
+
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("serve: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("serve: truncated frame: %w", err)
+	}
+	return hdr[4], payload, nil
+}
+
+// shedError maps an admission error to its wire code.
+func shedError(err error) wireError {
+	switch err {
+	case ErrBusy:
+		return wireError{Code: codeBusy, Msg: err.Error()}
+	case ErrQuota:
+		return wireError{Code: codeQuota, Msg: err.Error()}
+	default:
+		return wireError{Code: codeInternal, Msg: err.Error()}
+	}
+}
+
+// errorFor maps a wire code back to the client-side error.
+func (we wireError) error() error {
+	switch we.Code {
+	case codeBusy, codeShutdown:
+		return fmt.Errorf("%w (%s)", ErrBusy, we.Msg)
+	case codeQuota:
+		return fmt.Errorf("%w (%s)", ErrQuota, we.Msg)
+	default:
+		return fmt.Errorf("serve: remote error (%s): %s", we.Code, we.Msg)
+	}
+}

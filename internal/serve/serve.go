@@ -1,0 +1,488 @@
+// Package serve is the multi-tenant query/serving plane over the store: a
+// long-running network service that turns the embedded, one-process irtlstore
+// into something a dashboard fleet can hammer.
+//
+// One listener speaks two protocols — HTTP/JSON for browsers, dashboards,
+// and curl, and a length-prefixed binary protocol (reusing the store's
+// record codec) for the analysis CLIs — told apart by the first bytes of
+// each connection. Every request passes through the same read path:
+//
+//	admission (worker pool + queue shed + per-tenant token buckets)
+//	  → batcher (singleflight coalescing of identical in-flight aggregates)
+//	    → result cache (generation-keyed, byte-budgeted LRU)
+//	      → store (QueryParallel, predicate pushdown, ordered merge)
+//
+// Aggregate answers (class totals, daily series, top origins, the per-peer
+// density matrix) are cached under the store's segment-set generation, so a
+// hot dashboard panel is served from memory until a seal or compaction
+// actually changes the data — never after. Record streams are never cached;
+// they stream block by block from the store's merge reader. Every stage
+// publishes irtl_serve_* metrics through internal/obs.
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"instability/internal/collector"
+	"instability/internal/obs"
+	"instability/internal/store"
+)
+
+// Options configures a Server. Store is required; everything else defaults.
+type Options struct {
+	// Store is the open store being served. The server does not close it;
+	// the owning process does, once, after the server has drained.
+	Store *store.Store
+	// MaxSessions bounds concurrently executing reader sessions (the worker
+	// pool). Default 32.
+	MaxSessions int
+	// MaxQueue bounds requests waiting for a session slot; request
+	// MaxQueue+1 is shed immediately. Default 2*MaxSessions.
+	MaxQueue int
+	// QueueWait bounds how long an admitted-to-queue request waits for a
+	// slot before being shed. Default 2s.
+	QueueWait time.Duration
+	// Quotas are per-tenant token buckets keyed on the API token;
+	// DefaultQuota applies to tokens not in the map (zero = unlimited).
+	Quotas       map[string]Quota
+	DefaultQuota Quota
+	// CacheBytes is the result-cache budget; 0 disables caching.
+	CacheBytes int64
+	// Workers is the per-query store scan parallelism. Default GOMAXPROCS.
+	Workers int
+	// DrainTimeout bounds how long Close waits for in-flight requests
+	// before force-closing their connections. Default 5s.
+	DrainTimeout time.Duration
+
+	// now overrides the clock for token-bucket tests.
+	now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 32
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 2 * o.MaxSessions
+	}
+	if o.MaxQueue < 0 {
+		o.MaxQueue = 0
+	}
+	if o.QueueWait <= 0 {
+		o.QueueWait = 2 * time.Second
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Server is a running serving plane over one store.
+type Server struct {
+	opts    Options
+	st      *store.Store
+	adm     *admission
+	cache   *resultCache
+	flight  *flightGroup
+	lastGen atomic.Uint64
+
+	ln      net.Listener
+	httpLn  *chanListener
+	httpSrv *http.Server
+
+	wg     sync.WaitGroup // accept loop + binary handlers
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed chan struct{}
+	once   sync.Once
+}
+
+// New builds a server over opts.Store.
+func New(opts Options) (*Server, error) {
+	if opts.Store == nil {
+		return nil, errors.New("serve: Options.Store is required")
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:   opts,
+		st:     opts.Store,
+		adm:    newAdmission(opts.MaxSessions, opts.MaxQueue, opts.QueueWait, opts.Quotas, opts.DefaultQuota, opts.now),
+		cache:  newResultCache(opts.CacheBytes),
+		flight: newFlightGroup(),
+		conns:  make(map[net.Conn]struct{}),
+		closed: make(chan struct{}),
+	}
+	s.lastGen.Store(s.st.Generation())
+	return s, nil
+}
+
+// Serve accepts connections on ln until Close, routing each by its first
+// bytes: the binary protocol preamble goes to the frame handler, anything
+// else to the HTTP server. It returns after the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.ln != nil {
+		s.mu.Unlock()
+		return errors.New("serve: Serve called twice")
+	}
+	s.ln = ln
+	s.httpLn = newChanListener(ln.Addr())
+	s.httpSrv = &http.Server{Handler: s.httpHandler(), ReadHeaderTimeout: 10 * time.Second}
+	s.mu.Unlock()
+
+	go s.httpSrv.Serve(s.httpLn)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go s.route(conn)
+	}
+}
+
+// Addr returns the listen address once Serve has been called.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ActiveSessions reports currently admitted sessions (tests poll it).
+func (s *Server) ActiveSessions() int64 { return s.adm.active.Load() }
+
+// CacheCounts snapshots this server's cache counters.
+func (s *Server) CacheCounts() (hits, misses, evictions uint64, bytes int64) {
+	return s.cache.counts()
+}
+
+// route sniffs one accepted connection and dispatches it.
+func (s *Server) route(conn net.Conn) {
+	defer s.wg.Done()
+	s.track(conn, true)
+
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	br := bufio.NewReaderSize(conn, 1<<15)
+	preamble, err := br.Peek(len(protoMagic) + 1)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		s.track(conn, false)
+		conn.Close()
+		return
+	}
+	if string(preamble[:len(protoMagic)]) == protoMagic {
+		defer s.track(conn, false)
+		defer conn.Close()
+		br.Discard(len(protoMagic) + 1)
+		if preamble[len(protoMagic)] != protoVersion {
+			writeJSONFrame(conn, frameError, wireError{Code: codeBadQuery,
+				Msg: fmt.Sprintf("unsupported protocol version %d", preamble[len(protoMagic)])})
+			return
+		}
+		s.handleBinary(conn, br)
+		return
+	}
+	// HTTP: hand the connection (with the sniffed bytes still unread) to
+	// the embedded http.Server, which owns its lifecycle from here.
+	s.track(conn, false)
+	if !s.httpLn.deliver(&bufConn{Conn: conn, r: br}) {
+		conn.Close()
+	}
+}
+
+// track adds or removes a connection from the force-close set.
+func (s *Server) track(conn net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// generation returns the store's current generation, sweeping the cache when
+// it observes a change (a seal or compaction happened since the last look).
+func (s *Server) generation() uint64 {
+	gen := s.st.Generation()
+	if s.lastGen.Swap(gen) != gen {
+		s.cache.dropOldGens(gen)
+	}
+	return gen
+}
+
+// handleBinary speaks the frame protocol on one connection: one request, one
+// streamed response.
+func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	typ, payload, err := readFrame(br)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil || typ != frameRequest {
+		writeJSONFrame(conn, frameError, wireError{Code: codeBadQuery, Msg: "expected request frame"})
+		return
+	}
+	var req wireRequest
+	if err := unmarshalStrict(payload, &req); err != nil {
+		writeJSONFrame(conn, frameError, wireError{Code: codeBadQuery, Msg: err.Error()})
+		return
+	}
+
+	tenant := tenantLabel(s.opts.Quotas, req.Token)
+	reqs, lat := requestMetrics(tenant, "binary")
+	reqs.Inc()
+	t0 := time.Now()
+	defer func() { lat.ObserveSince(t0) }()
+
+	release, err := s.adm.admit(req.Token, s.closed)
+	if err != nil {
+		writeJSONFrame(conn, frameError, shedError(err))
+		return
+	}
+	defer release()
+
+	q, err := req.Query.Parse()
+	if err != nil {
+		writeJSONFrame(conn, frameError, wireError{Code: codeBadQuery, Msg: err.Error()})
+		return
+	}
+	span := obs.StartSpan("serve_query")
+	defer span.End()
+
+	gen := s.generation()
+	r, err := s.st.QueryParallel(q, s.opts.Workers)
+	if err != nil {
+		writeJSONFrame(conn, frameError, wireError{Code: codeInternal, Msg: err.Error()})
+		return
+	}
+	defer r.Close()
+
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	sent, err := s.streamBinary(bw, conn, r, req.Query.Limit)
+	span.Add(int64(sent))
+	if err != nil {
+		// The connection may already be dead; a best-effort error frame.
+		writeJSONFrame(bw, frameError, wireError{Code: codeInternal, Msg: err.Error()})
+		bw.Flush()
+		return
+	}
+	if err := writeJSONFrame(bw, frameEnd, wireEnd{Records: sent, Generation: gen, Stats: r.Stats()}); err != nil {
+		return
+	}
+	bw.Flush()
+}
+
+// streamBinary drains the reader into batched record frames, honoring limit
+// and shutdown. Each batch write carries a deadline so a stalled client
+// cannot pin a worker slot forever.
+func (s *Server) streamBinary(bw *bufio.Writer, conn net.Conn, r *store.Reader, limit int) (int, error) {
+	var batch []byte
+	var count uint64
+	sent := 0
+	flushBatch := func() error {
+		if count == 0 {
+			return nil
+		}
+		payload := appendUvarintFront(batch, count)
+		conn.SetWriteDeadline(time.Now().Add(time.Minute))
+		err := writeFrame(bw, frameBatch, payload)
+		conn.SetWriteDeadline(time.Time{})
+		batch, count = batch[:0], 0
+		return err
+	}
+	for {
+		select {
+		case <-s.closed:
+			return sent, errors.New("server shutting down")
+		default:
+		}
+		rec, err := r.Next()
+		if err == io.EOF {
+			return sent, flushBatch()
+		}
+		if err != nil {
+			return sent, err
+		}
+		if batch, err = store.AppendRecordWire(batch, rec); err != nil {
+			return sent, err
+		}
+		count++
+		sent++
+		obsRecordsStreamed.Inc()
+		if limit > 0 && sent >= limit {
+			return sent, flushBatch()
+		}
+		if count >= batchRecords {
+			if err := flushBatch(); err != nil {
+				return sent, err
+			}
+		}
+	}
+}
+
+// appendUvarintFront prepends a uvarint count to a record payload. The
+// record bytes were appended starting at offset 0; rather than shifting
+// them, the count is written into a small header slice and the two are
+// joined. One small copy per batch.
+func appendUvarintFront(records []byte, count uint64) []byte {
+	var hdr [10]byte
+	n := 0
+	for v := count; ; n++ {
+		if v < 0x80 {
+			hdr[n] = byte(v)
+			n++
+			break
+		}
+		hdr[n] = byte(v) | 0x80
+		v >>= 7
+	}
+	out := make([]byte, 0, n+len(records))
+	out = append(out, hdr[:n]...)
+	return append(out, records...)
+}
+
+// aggregate answers an aggregate query through singleflight and the cache,
+// returning the serialized JSON body shared by both protocols.
+func (s *Server) aggregate(kind string, top int, q store.Query) ([]byte, error) {
+	gen := s.generation()
+	key := aggregateCacheKey(gen, kind, top, q)
+	if body, ok := s.cache.get(key); ok {
+		return body, nil
+	}
+	body, _, err := s.flight.do(key, func() ([]byte, error) {
+		span := obs.StartSpan("serve_aggregate")
+		defer span.End()
+		r, err := s.st.QueryParallel(q, s.opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		agg, err := computeAggregate(readerOnly{r}, kind, top)
+		if err != nil {
+			return nil, err
+		}
+		agg.Generation = gen
+		span.Add(int64(agg.Records))
+		body, err := marshalJSON(agg)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(key, gen, body)
+		return body, nil
+	})
+	return body, err
+}
+
+// readerOnly adapts a store.Reader to collector.RecordReader without letting
+// the aggregate path close it (the caller owns Close).
+type readerOnly struct{ r *store.Reader }
+
+func (ro readerOnly) Next() (collector.Record, error) { return ro.r.Next() }
+func (ro readerOnly) Close() error                    { return nil }
+
+// Close shuts the server down gracefully: stop accepting, let in-flight
+// requests finish for up to DrainTimeout, then force-close what remains. It
+// never closes the store — the owner does, once, after Close returns.
+func (s *Server) Close() error {
+	s.once.Do(func() {
+		close(s.closed)
+		s.mu.Lock()
+		ln, httpSrv, httpLn := s.ln, s.httpSrv, s.httpLn
+		s.mu.Unlock()
+		if ln != nil {
+			ln.Close()
+		}
+		if httpLn != nil {
+			httpLn.close()
+		}
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(s.opts.DrainTimeout):
+			log.Printf("serve: drain timeout after %v; force-closing connections", s.opts.DrainTimeout)
+			s.mu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.mu.Unlock()
+			<-done
+		}
+		if httpSrv != nil {
+			httpSrv.Close()
+		}
+	})
+	return nil
+}
+
+// chanListener adapts the sniffing accept loop to http.Server.Serve: routed
+// HTTP connections are delivered through a channel.
+type chanListener struct {
+	ch   chan net.Conn
+	addr net.Addr
+	done chan struct{}
+	once sync.Once
+}
+
+func newChanListener(addr net.Addr) *chanListener {
+	return &chanListener{ch: make(chan net.Conn), addr: addr, done: make(chan struct{})}
+}
+
+func (l *chanListener) deliver(c net.Conn) bool {
+	select {
+	case l.ch <- c:
+		return true
+	case <-l.done:
+		return false
+	}
+}
+
+func (l *chanListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *chanListener) Close() error {
+	l.close()
+	return nil
+}
+
+func (l *chanListener) close()         { l.once.Do(func() { close(l.done) }) }
+func (l *chanListener) Addr() net.Addr { return l.addr }
+
+// bufConn is a net.Conn whose reads go through the bufio.Reader that already
+// holds the sniffed bytes.
+type bufConn struct {
+	net.Conn
+	r *bufio.Reader
+}
+
+func (c *bufConn) Read(p []byte) (int, error) { return c.r.Read(p) }

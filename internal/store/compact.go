@@ -65,6 +65,7 @@ func (s *Store) Compact() (CompactStats, error) {
 		sortSegments(s.segs)
 	}
 	st.SegmentsAfter = len(s.segs)
+	s.gen.Store(s.nextSeg)
 	obsCompactSeconds.ObserveSince(t0)
 	obsCompactRecords.Add(st.RecordsRewritten)
 	obsSegments.SetInt(int64(len(s.segs)))

@@ -43,10 +43,12 @@ package store
 
 import (
 	"fmt"
+	"hash/fnv"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"instability/internal/collector"
@@ -127,6 +129,11 @@ type Store struct {
 	mem     map[int64]*memWindow // windowStart (unixnano) -> unsealed records
 	memN    int
 	closed  bool
+
+	// gen is the segment-set generation: it advances whenever the set of
+	// sealed segments changes (seal, compaction), and is readable without
+	// the store lock. Result caches key on it; see Generation.
+	gen atomic.Uint64
 
 	// enc memoizes attribute wire encodings across WAL appends, seals, and
 	// compactions (guarded by mu); dec canonicalizes attributes decoded from
@@ -213,11 +220,22 @@ func Open(dir string, opts Options) (*Store, error) {
 		mw.recs = append(mw.recs, ent.rec)
 		s.memN++
 	}
+	s.gen.Store(s.nextSeg)
 	obsSegments.SetInt(int64(len(s.segs)))
 	obsMemRecords.SetInt(int64(s.memN))
 	obsWALBytes.SetInt(s.wal.size())
 	return s, nil
 }
+
+// Generation returns the store's segment-set generation counter. It is
+// monotone for the life of the process and advances exactly when the set of
+// sealed segments changes — a seal or a compaction — so any result computed
+// from sealed data is valid for as long as the generation it was computed
+// under remains current. The serving layer keys its aggregate cache on it.
+// Memtable appends do not advance the generation: a read-only serving
+// process never observes memtable changes after Open, and a writing process
+// seals before its data is queried remotely.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
 
 // sealedSeqs returns, per window, the highest sequence number covered by a
 // sealed segment.
@@ -283,15 +301,17 @@ func (s *Store) windowStart(t time.Time) int64 {
 
 // Stats describes the current shape of the store.
 type Stats struct {
-	Segments   int   // sealed segment files
-	SegmentsV1 int   // segments in block format v1 (inline attributes)
-	SegmentsV2 int   // segments in block format v2 (attribute dictionary)
-	Blocks     int   // compressed blocks across all segments
-	Records    int64 // records in sealed segments
-	MemRecords int   // unsealed records (memtable / WAL)
-	Windows    int   // distinct time windows with any data
-	DiskBytes  int64 // total size of segment files
-	WALBytes   int64 // current WAL size
+	Segments    int    // sealed segment files
+	SegmentsV1  int    // segments in block format v1 (inline attributes)
+	SegmentsV2  int    // segments in block format v2 (attribute dictionary)
+	Blocks      int    // compressed blocks across all segments
+	Records     int64  // records in sealed segments
+	MemRecords  int    // unsealed records (memtable / WAL)
+	Windows     int    // distinct time windows with any data
+	DiskBytes   int64  // total size of segment files
+	WALBytes    int64  // current WAL size
+	Generation  uint64 // segment-set generation counter (see Store.Generation)
+	Fingerprint uint64 // content hash of the sealed segment set
 }
 
 // Stats reports store-level statistics.
@@ -320,7 +340,33 @@ func (s *Store) Stats() Stats {
 	st.MemRecords = s.memN
 	st.Windows = len(windows)
 	st.WALBytes = s.wal.size()
+	st.Generation = s.gen.Load()
+	st.Fingerprint = s.fingerprintLocked()
 	return st
+}
+
+// fingerprintLocked hashes the identity of every sealed segment — file
+// number, sequence range, record count — into one value. Two stores (or one
+// store at two times) with the same fingerprint hold the same sealed segment
+// set; unlike the generation counter it survives process restarts, so it is
+// the cross-process spelling of "same data".
+func (s *Store) fingerprintLocked() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	word := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	for _, g := range s.segs {
+		word(g.seq)
+		word(uint64(g.windowStart))
+		word(g.firstSeq)
+		word(g.lastSeq)
+		word(uint64(g.count))
+	}
+	return h.Sum64()
 }
 
 // Close seals any unsealed records and releases the store.

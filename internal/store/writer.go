@@ -207,6 +207,7 @@ func (s *Store) sealLocked() error {
 		delete(s.mem, wd)
 	}
 	sortSegments(s.segs)
+	s.gen.Store(s.nextSeg)
 	obsSealSeconds.ObserveSince(t0)
 	obsSealedRecords.Add(int64(sealedRecords - s.memN))
 	obsSealedSegments.Add(int64(len(windows)))
