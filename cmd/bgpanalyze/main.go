@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,19 +41,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bgpanalyze: ")
 	var (
-		in       = flag.String("in", "", "input log file")
-		storeDir = flag.String("store", "", "analyze an irtlstore query instead of a log file")
-		remote   = flag.String("remote", "", "analyze a query against a bgpserve instance (host:port) instead of a local store")
-		token    = flag.String("token", "", "API token for -remote (identifies the tenant for quotas)")
-		from     = flag.String("from", "", "store query: start time (inclusive)")
-		to       = flag.String("to", "", "store query: end time (exclusive)")
-		peers    = flag.String("peer", "", "store query: comma-separated peer AS list")
-		origins  = flag.String("origin", "", "store query: comma-separated origin AS list")
-		prefix   = flag.String("prefix", "", "store query: exact prefix (CIDR)")
+		in          = flag.String("in", "", "input log file")
+		storeDir    = flag.String("store", "", "analyze an irtlstore query instead of a log file")
+		remote      = flag.String("remote", "", "analyze a query against a bgpserve instance (host:port) instead of a local store")
+		token       = flag.String("token", "", "API token for -remote (identifies the tenant for quotas)")
+		from        = flag.String("from", "", "store query: start time (inclusive)")
+		to          = flag.String("to", "", "store query: end time (exclusive)")
+		peers       = flag.String("peer", "", "store query: comma-separated peer AS list")
+		origins     = flag.String("origin", "", "store query: comma-separated origin AS list")
+		prefix      = flag.String("prefix", "", "store query: exact prefix (CIDR)")
 		id          = flag.String("id", "summary", "what to print: summary, table1, fig2..fig10, all")
 		day         = flag.String("day", "", "day for table1 (YYYY-MM-DD, default: busiest)")
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "classifier shards and store-scan workers (1 = serial)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
+		traceSample = flag.Float64("trace-sample", 0, "trace this run (0 = off, 1 = always); with -remote the trace ID is shared with the server")
 	)
 	flag.Parse()
 	sources := 0
@@ -73,6 +75,18 @@ func main() {
 		log.Printf("metrics on http://%s/metrics", msrv.Addr())
 	}
 
+	// With -trace-sample the whole run becomes one trace: the query (local
+	// scan or remote fetch) and the classify stage are children of a single
+	// root, and with -remote the server's admission/scan/encode spans share
+	// the same trace ID.
+	ctx := context.Background()
+	var troot *obs.TraceSpan
+	if *traceSample > 0 {
+		obs.EnableTracing(obs.TraceConfig{SampleRate: *traceSample})
+		ctx, troot = obs.DefaultTracer().Start(ctx, "bgpanalyze")
+		defer troot.Finish()
+	}
+
 	var (
 		r            collector.RecordReader
 		exchangeName string
@@ -88,7 +102,7 @@ func main() {
 		source = *in
 	case *remote != "":
 		c := &serve.Client{Addr: *remote, Token: *token}
-		rr, qerr := c.Query(serve.QuerySpec{
+		rr, qerr := c.QueryCtx(ctx, serve.QuerySpec{
 			From: *from, To: *to, Peer: *peers, Origin: *origins, Prefix: *prefix,
 		})
 		if qerr != nil {
@@ -107,7 +121,7 @@ func main() {
 			log.Fatal(serr)
 		}
 		defer s.Close()
-		r, err = s.QueryParallel(q, *parallel)
+		r, err = s.QueryParallelCtx(ctx, q, *parallel)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -126,7 +140,7 @@ func main() {
 		n           int
 		err2        error
 	)
-	span := obs.StartSpan("classify")
+	span, _ := obs.StartSpanCtx(ctx, "classify")
 	if *parallel > 1 {
 		pp := instability.NewParallelPipeline(instability.ParallelConfig{Shards: *parallel})
 		// Live taxonomy counters: merged at each day barrier, so a scrape

@@ -64,8 +64,12 @@ func main() {
 		backoffBase = flag.Duration("backoff-base", 500*time.Millisecond, "first redial delay")
 		backoffMax  = flag.Duration("backoff-max", time.Minute, "redial delay cap")
 		chaosSpec   = flag.String("chaos", "", "fault dialed connections, e.g. seed=1,resetp=0.01,maxdelay=5ms")
+		traceSample = flag.Float64("trace-sample", 0, "head-sample fraction of traces for /debug/traces (0 = off)")
 	)
 	flag.Parse()
+	if *traceSample > 0 {
+		obs.EnableTracing(obs.TraceConfig{SampleRate: *traceSample})
+	}
 	chaosConn, err := parseConnChaos(*chaosSpec)
 	if err != nil {
 		log.Fatal(err)

@@ -41,23 +41,27 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bgpreplay: ")
 	var (
-		in        = flag.String("in", "", "input log (native or MRT)")
-		storeDir  = flag.String("store", "", "replay from an irtlstore query instead of a log file")
-		from      = flag.String("from", "", "store query: start time (inclusive)")
-		to        = flag.String("to", "", "store query: end time (exclusive)")
-		origin    = flag.String("origin", "", "store query: comma-separated origin AS list")
-		prefix    = flag.String("prefix", "", "store query: exact prefix (CIDR)")
-		connect   = flag.String("connect", "127.0.0.1:1790", "collector address")
-		asn       = flag.Uint("as", 690, "local AS number")
-		id        = flag.String("id", "198.32.186.1", "local BGP identifier")
-		peer      = flag.Uint("peer", 0, "replay only records from this peer AS (0 = all, rewritten to the local identity)")
-		speedup   = flag.Float64("speedup", 600, "time compression factor (600 = one simulated hour per 6 wall seconds)")
+		in          = flag.String("in", "", "input log (native or MRT)")
+		storeDir    = flag.String("store", "", "replay from an irtlstore query instead of a log file")
+		from        = flag.String("from", "", "store query: start time (inclusive)")
+		to          = flag.String("to", "", "store query: end time (exclusive)")
+		origin      = flag.String("origin", "", "store query: comma-separated origin AS list")
+		prefix      = flag.String("prefix", "", "store query: exact prefix (CIDR)")
+		connect     = flag.String("connect", "127.0.0.1:1790", "collector address")
+		asn         = flag.Uint("as", 690, "local AS number")
+		id          = flag.String("id", "198.32.186.1", "local BGP identifier")
+		peer        = flag.Uint("peer", 0, "replay only records from this peer AS (0 = all, rewritten to the local identity)")
+		speedup     = flag.Float64("speedup", 600, "time compression factor (600 = one simulated hour per 6 wall seconds)")
 		limit       = flag.Int("n", 0, "stop after this many records (0 = all)")
 		stateless   = flag.Bool("stateless", false, "replay as the stateless vendor: withdrawals are sent even for never-advertised prefixes, reproducing the log's WWDups on the wire")
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "store query: segment-scan decompression workers (1 = serial scan)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
+		traceSample = flag.Float64("trace-sample", 0, "head-sample fraction of traces for /debug/traces (0 = off)")
 	)
 	flag.Parse()
+	if *traceSample > 0 {
+		obs.EnableTracing(obs.TraceConfig{SampleRate: *traceSample})
+	}
 	if (*in == "") == (*storeDir == "") {
 		log.Fatal("need exactly one of -in or -store")
 	}

@@ -20,6 +20,7 @@ package main
 
 import (
 	"flag"
+	"io"
 	"log"
 	"net"
 	"os"
@@ -48,10 +49,30 @@ func main() {
 		workers     = flag.Int("workers", 0, "per-query segment-scan workers (0 = GOMAXPROCS)")
 		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 		chaos       = flag.String("chaos", "", "inject deterministic store I/O faults, e.g. seed=42,flipreadp=0.01 (see internal/faults)")
+		traceSample = flag.Float64("trace-sample", 0.05, "fraction of untraced requests to head-sample into /debug/traces (slow requests are always kept)")
+		traceRing   = flag.Int("trace-ring", 256, "completed traces retained for /debug/traces")
+		slowQuery   = flag.Duration("slow-query", time.Second, "emit an NDJSON profile line for requests at or over this duration (negative = never)")
+		slowLog     = flag.String("slow-query-log", "", "slow-query log file (append; empty = stderr)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
 		log.Fatal("missing -store")
+	}
+
+	obs.EnableTracing(obs.TraceConfig{
+		SampleRate:    *traceSample,
+		SlowThreshold: *slowQuery,
+		RingSize:      *traceRing,
+	})
+
+	var slowW io.Writer
+	if *slowLog != "" {
+		f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		slowW = f
 	}
 
 	if *metricsAddr != "" {
@@ -92,6 +113,8 @@ func main() {
 		CacheBytes:   *cacheBytes,
 		Workers:      *workers,
 		DrainTimeout: *drain,
+		SlowQuery:    *slowQuery,
+		SlowQueryLog: slowW,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -136,20 +137,22 @@ func cmdIngest(args []string) {
 func cmdQuery(args []string) {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	var (
-		dir       = fs.String("store", "", "store directory")
-		from      = fs.String("from", "", "start time (inclusive): RFC3339 or YYYY-MM-DD[ HH:MM:SS]")
-		to        = fs.String("to", "", "end time (exclusive)")
-		peers     = fs.String("peer", "", "comma-separated peer AS list")
-		origins   = fs.String("origin", "", "comma-separated origin AS list (announcements only)")
-		prefix    = fs.String("prefix", "", "exact prefix (CIDR)")
-		types     = fs.String("type", "", "comma-separated record types: A,W,UP,DOWN")
-		out       = fs.String("out", "", "write results as a native log instead of printing")
-		exchange  = fs.String("exchange", "store", "exchange name for the -out log header")
-		countOnly = fs.Bool("count", false, "print only the match count")
+		dir         = fs.String("store", "", "store directory")
+		from        = fs.String("from", "", "start time (inclusive): RFC3339 or YYYY-MM-DD[ HH:MM:SS]")
+		to          = fs.String("to", "", "end time (exclusive)")
+		peers       = fs.String("peer", "", "comma-separated peer AS list")
+		origins     = fs.String("origin", "", "comma-separated origin AS list (announcements only)")
+		prefix      = fs.String("prefix", "", "exact prefix (CIDR)")
+		types       = fs.String("type", "", "comma-separated record types: A,W,UP,DOWN")
+		out         = fs.String("out", "", "write results as a native log instead of printing")
+		exchange    = fs.String("exchange", "store", "exchange name for the -out log header")
+		countOnly   = fs.Bool("count", false, "print only the match count")
 		scanStats   = fs.Bool("scanstats", false, "print index pushdown statistics to stderr")
+		explain     = fs.Bool("explain", false, "print the query's EXPLAIN profile to stderr after the scan")
 		limit       = fs.Int("n", 0, "stop after this many records (0 = all)")
 		parallel    = fs.Int("parallel", runtime.GOMAXPROCS(0), "segment-scan decompression workers (1 = serial scan)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
+		traceSample = fs.Float64("trace-sample", 0, "trace this query (0 = off, 1 = always); view at -metrics-addr /debug/traces")
 		chaos       = fs.String("chaos", "", chaosUsage)
 	)
 	fs.Parse(args)
@@ -158,9 +161,16 @@ func cmdQuery(args []string) {
 		log.Fatal(err)
 	}
 	serveMetrics(*metricsAddr)
+	ctx := context.Background()
+	if *traceSample > 0 {
+		obs.EnableTracing(obs.TraceConfig{SampleRate: *traceSample})
+		var troot *obs.TraceSpan
+		ctx, troot = obs.DefaultTracer().Start(ctx, "bgpstore_query")
+		defer troot.Finish()
+	}
 	s := openStore(*dir, 0, 0, *chaos)
 	defer s.Close()
-	r, err := s.QueryParallel(q, *parallel)
+	r, err := s.QueryParallelCtx(ctx, q, *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -212,6 +222,9 @@ func cmdQuery(args []string) {
 		if st.BlocksQuarantined > 0 {
 			fmt.Fprintf(os.Stderr, "WARNING: %d corrupt blocks quarantined (result is partial)\n", st.BlocksQuarantined)
 		}
+	}
+	if *explain {
+		fmt.Fprintln(os.Stderr, r.Explain().String())
 	}
 }
 

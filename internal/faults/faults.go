@@ -66,9 +66,9 @@ type Disk struct{}
 func (Disk) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	return os.OpenFile(name, flag, perm)
 }
-func (Disk) Open(name string) (File, error)              { return os.Open(name) }
-func (Disk) Create(name string) (File, error)            { return os.Create(name) }
-func (Disk) Rename(oldpath, newpath string) error        { return os.Rename(oldpath, newpath) }
-func (Disk) Remove(name string) error                    { return os.Remove(name) }
+func (Disk) Open(name string) (File, error)               { return os.Open(name) }
+func (Disk) Create(name string) (File, error)             { return os.Create(name) }
+func (Disk) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (Disk) Remove(name string) error                     { return os.Remove(name) }
 func (Disk) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
-func (Disk) ReadDir(name string) ([]os.DirEntry, error)  { return os.ReadDir(name) }
+func (Disk) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }

@@ -9,7 +9,8 @@ import (
 )
 
 // NewHandler returns the exposition mux for a registry: /metrics
-// (Prometheus text), /varz (JSON), /healthz, and /debug/pprof/.
+// (Prometheus text), /varz (JSON), /healthz, /debug/traces (the default
+// tracer's ring), and /debug/pprof/.
 func NewHandler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -23,6 +24,7 @@ func NewHandler(r *Registry) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.Handle("/debug/traces", TracesHandler(DefaultTracer()))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -33,13 +35,15 @@ func NewHandler(r *Registry) http.Handler {
 
 // Server is a running exposition server.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln          net.Listener
+	srv         *http.Server
+	stopRuntime func()
 }
 
 // Serve starts the exposition server on addr (e.g. ":9100" or
 // "127.0.0.1:0") and returns once it is listening. The server runs until
-// Close.
+// Close. Starting the server also starts the runtime collector (the
+// irtl_runtime_* gauges) against the registry.
 func Serve(addr string, r *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -47,11 +51,16 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	}
 	srv := &http.Server{Handler: NewHandler(r), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
-	return &Server{ln: ln, srv: srv}, nil
+	return &Server{ln: ln, srv: srv, stopRuntime: StartRuntimeCollector(r, 0)}, nil
 }
 
 // Addr returns the bound address, useful when addr requested port 0.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down and stops its runtime collector.
+func (s *Server) Close() error {
+	if s.stopRuntime != nil {
+		s.stopRuntime()
+	}
+	return s.srv.Close()
+}

@@ -3,6 +3,7 @@ package obs_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"instability/internal/obs"
 
@@ -18,6 +19,11 @@ import (
 // fault plane and degraded-mode paths. Renaming one of these silently breaks
 // every dashboard and alert that watches it; this test makes the rename loud.
 func TestMetricNamesPublished(t *testing.T) {
+	// The runtime gauges register when the collector starts (obs.Serve does
+	// this in production); start one against the default registry so the
+	// names are pinned here too.
+	stop := obs.StartRuntimeCollector(obs.Default(), time.Hour)
+	defer stop()
 	var sb strings.Builder
 	if err := obs.Default().WritePrometheus(&sb); err != nil {
 		t.Fatal(err)
@@ -44,6 +50,21 @@ func TestMetricNamesPublished(t *testing.T) {
 		"irtl_serve_records_total",
 		"irtl_serve_requests_total",
 		"irtl_serve_request_seconds",
+		// Observability plane: tracing retention and the slow-query log.
+		"irtl_trace_traces_total",
+		"irtl_trace_spans_total",
+		"irtl_trace_kept_total",
+		"irtl_trace_dropped_total",
+		"irtl_serve_slow_queries_total",
+		// Store EXPLAIN byte accounting.
+		"irtl_store_query_bytes_read_total",
+		"irtl_store_query_bytes_decompressed_total",
+		// Runtime gauges published by the background collector.
+		"irtl_runtime_goroutines",
+		"irtl_runtime_heap_bytes",
+		"irtl_runtime_gomaxprocs",
+		"irtl_runtime_gc_total",
+		"irtl_runtime_gc_pause_seconds",
 	}
 	for _, name := range names {
 		if !strings.Contains(exposition, "# TYPE "+name+" ") {

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// /debug/traces exposition:
+//
+//	/debug/traces                 JSON summary of retained traces, newest first
+//	/debug/traces?id=<hex>        one trace as a nested span tree (JSON)
+//	/debug/traces?id=<hex>&format=waterfall
+//	                              the same trace as an ASCII waterfall
+//
+// Rendering reads only completed traces out of the ring; the ring publish in
+// Tracer.collect is the synchronization point, so span fields are stable by
+// the time they are readable here.
+
+// TraceSummary is one row of the /debug/traces listing.
+type TraceSummary struct {
+	ID        string  `json:"id"`
+	Root      string  `json:"root"`
+	Start     string  `json:"start"`
+	Millis    float64 `json:"ms"`
+	Spans     int     `json:"spans"`
+	Sampled   bool    `json:"sampled"`
+	Remote    bool    `json:"remote,omitempty"`
+	Truncated bool    `json:"truncated,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// SpanJSON is one span in the per-trace tree rendering.
+type SpanJSON struct {
+	ID       string         `json:"id"`
+	Name     string         `json:"name"`
+	OffsetMs float64        `json:"offset_ms"`
+	Millis   float64        `json:"ms"`
+	Error    string         `json:"error,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*SpanJSON    `json:"children,omitempty"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func summarize(tr *Trace) TraceSummary {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return TraceSummary{
+		ID:        fmt.Sprintf("%016x", tr.ID),
+		Root:      tr.root.Name,
+		Start:     tr.start.UTC().Format(time.RFC3339Nano),
+		Millis:    ms(tr.root.dur),
+		Spans:     len(tr.spans),
+		Sampled:   tr.Sampled,
+		Remote:    tr.Remote,
+		Truncated: tr.truncated,
+		Error:     tr.root.errMsg,
+	}
+}
+
+// tree builds the nested rendering. Spans whose parent is missing (remote
+// parents, dropped spans) attach to the root.
+func tree(tr *Trace) *SpanJSON {
+	tr.mu.Lock()
+	spans := append([]*TraceSpan(nil), tr.spans...)
+	tr.mu.Unlock()
+
+	nodes := make(map[uint64]*SpanJSON, len(spans))
+	for _, sp := range spans {
+		n := &SpanJSON{
+			ID:       fmt.Sprintf("%016x", sp.ID),
+			Name:     sp.Name,
+			OffsetMs: ms(sp.start.Sub(tr.start)),
+			Millis:   ms(sp.dur),
+			Error:    sp.errMsg,
+		}
+		if len(sp.attrs) > 0 {
+			n.Attrs = make(map[string]any, len(sp.attrs))
+			for _, a := range sp.attrs {
+				if a.IsInt {
+					n.Attrs[a.Key] = a.Int
+				} else {
+					n.Attrs[a.Key] = a.Str
+				}
+			}
+		}
+		nodes[sp.ID] = n
+	}
+	root := nodes[tr.root.ID]
+	for _, sp := range spans {
+		if sp == tr.root {
+			continue
+		}
+		parent := nodes[sp.Parent]
+		if parent == nil {
+			parent = root
+		}
+		parent.Children = append(parent.Children, nodes[sp.ID])
+	}
+	sortTree(root)
+	return root
+}
+
+func sortTree(n *SpanJSON) {
+	sort.SliceStable(n.Children, func(i, j int) bool {
+		return n.Children[i].OffsetMs < n.Children[j].OffsetMs
+	})
+	for _, c := range n.Children {
+		sortTree(c)
+	}
+}
+
+// waterfall renders the span tree as fixed-width ASCII: indentation is tree
+// depth, the bar shows each span's [offset, offset+dur) within the root.
+func waterfall(tr *Trace, w *strings.Builder) {
+	root := tree(tr)
+	total := root.Millis
+	if total <= 0 {
+		total = 1
+	}
+	fmt.Fprintf(w, "trace %016x  %s  %.3fms  sampled=%v\n",
+		tr.ID, tr.start.UTC().Format(time.RFC3339Nano), root.Millis, tr.Sampled)
+	const cols = 48
+	var walk func(n *SpanJSON, depth int)
+	walk = func(n *SpanJSON, depth int) {
+		lo := int(n.OffsetMs / total * cols)
+		width := int(n.Millis / total * cols)
+		if width < 1 {
+			width = 1
+		}
+		if lo >= cols {
+			lo = cols - 1
+		}
+		if lo+width > cols {
+			width = cols - lo
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("=", width) + strings.Repeat(" ", cols-lo-width)
+		name := strings.Repeat("  ", depth) + n.Name
+		fmt.Fprintf(w, "%-32s |%s| %9.3fms", name, bar, n.Millis)
+		if n.Error != "" {
+			fmt.Fprintf(w, "  ERROR: %s", n.Error)
+		}
+		w.WriteByte('\n')
+		for _, a := range sortedAttrs(n.Attrs) {
+			fmt.Fprintf(w, "%s    %s\n", strings.Repeat("  ", depth), a)
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+}
+
+func sortedAttrs(attrs map[string]any) []string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(attrs))
+	for k, v := range attrs {
+		out = append(out, fmt.Sprintf("%s=%v", k, v))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TracesHandler serves the tracer's ring.
+func TracesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		idStr := req.URL.Query().Get("id")
+		if idStr == "" {
+			list := t.Traces()
+			out := make([]TraceSummary, 0, len(list))
+			for _, tr := range list {
+				out = append(out, summarize(tr))
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Enabled bool           `json:"enabled"`
+				Traces  []TraceSummary `json:"traces"`
+			}{t.Enabled(), out})
+			return
+		}
+		id, err := strconv.ParseUint(idStr, 16, 64)
+		if err != nil {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		tr := t.Find(id)
+		if tr == nil {
+			http.Error(w, "trace not found", http.StatusNotFound)
+			return
+		}
+		if req.URL.Query().Get("format") == "waterfall" {
+			var sb strings.Builder
+			waterfall(tr, &sb)
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, sb.String())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Summary TraceSummary `json:"summary"`
+			Tree    *SpanJSON    `json:"tree"`
+		}{summarize(tr), tree(tr)})
+	})
+}

@@ -143,6 +143,10 @@ func newAdmission(maxSessions, maxQueue int, queueWait time.Duration, quotas map
 	}
 }
 
+// queueDepth reports requests currently waiting for a worker slot (trace
+// annotation and statz).
+func (a *admission) queueDepth() int64 { return a.queued.Load() }
+
 // quotaFor returns the quota applied to a token.
 func (a *admission) quotaFor(token string) Quota {
 	if q, ok := a.quotas[token]; ok {

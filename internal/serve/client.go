@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"instability/internal/collector"
+	"instability/internal/obs"
 	"instability/internal/store"
 )
 
@@ -41,33 +43,54 @@ func (c *Client) dialTimeout() time.Duration {
 // local store query does. A shed request fails with an error wrapping
 // ErrBusy or ErrQuota.
 func (c *Client) Query(spec QuerySpec) (*RemoteReader, error) {
+	return c.QueryCtx(context.Background(), spec)
+}
+
+// QueryCtx is Query carrying a trace: when ctx holds an active span, the
+// request is sent with this client's trace identity in the v2 preamble, so
+// the server's admission/scan/encode spans land in the caller's trace, and a
+// "remote_query" child span covers the dial and request write.
+func (c *Client) QueryCtx(ctx context.Context, spec QuerySpec) (*RemoteReader, error) {
+	_, sp := obs.StartChild(ctx, "remote_query")
+	sp.Annotate("addr", c.Addr)
+	sp.Annotate("query", spec.String())
 	conn, err := net.DialTimeout("tcp", c.Addr, c.dialTimeout())
 	if err != nil {
+		sp.SetError(err)
+		sp.Finish()
 		return nil, err
 	}
 	bw := bufio.NewWriter(conn)
 	bw.WriteString(protoMagic)
 	bw.WriteByte(protoVersion)
-	payload, err := json.Marshal(wireRequest{Token: c.Token, Query: spec})
+	// v2 request payload: 17-byte trace prefix (all zeros when untraced),
+	// then the JSON request.
+	payload := appendTraceCtx(nil, sp)
+	body, err := json.Marshal(wireRequest{Token: c.Token, Query: spec})
 	if err != nil {
+		sp.SetError(err)
+		sp.Finish()
 		conn.Close()
 		return nil, err
 	}
-	if err := writeFrame(bw, frameRequest, payload); err != nil {
+	payload = append(payload, body...)
+	if err := writeFrame(bw, frameRequest, payload); err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		sp.SetError(err)
+		sp.Finish()
 		conn.Close()
 		return nil, err
 	}
-	if err := bw.Flush(); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return &RemoteReader{conn: conn, br: bufio.NewReaderSize(conn, 1<<16)}, nil
+	return &RemoteReader{conn: conn, br: bufio.NewReaderSize(conn, 1<<16), span: sp}, nil
 }
 
 // RemoteReader streams records from one remote query.
 type RemoteReader struct {
 	conn net.Conn
 	br   *bufio.Reader
+	span *obs.TraceSpan // remote_query; finished on Close
 
 	buf  []byte // undecoded remainder of the current batch
 	left uint64 // records remaining in the current batch
@@ -147,26 +170,56 @@ func (r *RemoteReader) Generation() uint64 {
 	return r.end.Generation
 }
 
-// Close releases the connection.
-func (r *RemoteReader) Close() error { return r.conn.Close() }
+// Explain returns the server-side query profile, or nil before the end frame
+// arrives (or when talking to a server that does not send one).
+func (r *RemoteReader) Explain() *store.Explain {
+	if r.end == nil {
+		return nil
+	}
+	return r.end.Explain
+}
+
+// Close releases the connection and finishes the remote_query span.
+func (r *RemoteReader) Close() error {
+	if r.span != nil {
+		if r.end != nil {
+			r.span.AnnotateInt("records", int64(r.end.Records))
+		}
+		r.span.Finish()
+		r.span = nil
+	}
+	return r.conn.Close()
+}
 
 // Aggregate fetches one cached aggregate over HTTP. top bounds ranked kinds
 // (0 = server default).
 func (c *Client) Aggregate(kind string, spec QuerySpec, top int) (*Aggregate, error) {
+	return c.AggregateCtx(context.Background(), kind, spec, top)
+}
+
+// AggregateCtx is Aggregate carrying a trace: an active span in ctx is
+// propagated to the server in the X-Irtl-Trace header.
+func (c *Client) AggregateCtx(ctx context.Context, kind string, spec QuerySpec, top int) (*Aggregate, error) {
+	ctx, sp := obs.StartChild(ctx, "remote_aggregate")
+	defer sp.Finish()
+	sp.Annotate("addr", c.Addr)
+	sp.Annotate("kind", kind)
 	v := url.Values{}
 	v.Set("kind", kind)
 	if top > 0 {
 		v.Set("top", strconv.Itoa(top))
 	}
 	setSpec(v, spec)
-	body, err := c.httpGet("/v1/aggregate?" + v.Encode())
+	body, err := c.httpGetCtx(ctx, "/v1/aggregate?"+v.Encode())
 	if err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
 	var agg Aggregate
 	if err := json.Unmarshal(body, &agg); err != nil {
 		return nil, fmt.Errorf("serve: bad aggregate response: %w", err)
 	}
+	sp.AnnotateInt("records", int64(agg.Records))
 	return &agg, nil
 }
 
@@ -187,6 +240,11 @@ func (c *Client) Statz() (*Statz, error) {
 // so tests (and HTTP-only tenants) can prove protocol equivalence; CLIs use
 // the binary Query.
 func (c *Client) QueryHTTP(spec QuerySpec) ([]collector.Record, error) {
+	return c.QueryHTTPCtx(context.Background(), spec)
+}
+
+// QueryHTTPCtx is QueryHTTP propagating an active trace via X-Irtl-Trace.
+func (c *Client) QueryHTTPCtx(ctx context.Context, spec QuerySpec) ([]collector.Record, error) {
 	v := url.Values{}
 	setSpec(v, spec)
 	if spec.Limit > 0 {
@@ -197,6 +255,7 @@ func (c *Client) QueryHTTP(spec QuerySpec) ([]collector.Record, error) {
 		return nil, err
 	}
 	c.auth(req)
+	c.traceHeader(ctx, req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
@@ -246,12 +305,25 @@ func (c *Client) auth(req *http.Request) {
 	}
 }
 
+// traceHeader attaches the ctx's active span identity, if any, so the server
+// joins the caller's trace.
+func (c *Client) traceHeader(ctx context.Context, req *http.Request) {
+	if h := obs.SpanFromContext(ctx).Header(); h != "" {
+		req.Header.Set(obs.TraceHeader, h)
+	}
+}
+
 func (c *Client) httpGet(path string) ([]byte, error) {
+	return c.httpGetCtx(context.Background(), path)
+}
+
+func (c *Client) httpGetCtx(ctx context.Context, path string) ([]byte, error) {
 	req, err := http.NewRequest("GET", "http://"+c.Addr+path, nil)
 	if err != nil {
 		return nil, err
 	}
 	c.auth(req)
+	c.traceHeader(ctx, req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err

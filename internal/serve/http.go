@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -108,21 +109,42 @@ var errBadRequest = errors.New("serve: bad request")
 
 func badRequest(err error) error { return fmt.Errorf("%w: %v", errBadRequest, err) }
 
-// admitHTTP runs the shared front door for one HTTP request and returns the
-// release func, recording per-tenant metrics either way.
-func (s *Server) admitHTTP(r *http.Request) (release func(), lat *obs.Histogram, err error) {
+// admitHTTP runs the shared front door for one HTTP request under an
+// "admission" child span, recording per-tenant metrics and the stage time on
+// the profile either way.
+func (s *Server) admitHTTP(ctx context.Context, prof *QueryProfile, r *http.Request) (release func(), lat *obs.Histogram, err error) {
 	token := tokenOf(r)
 	tenant := tenantLabel(s.opts.Quotas, token)
+	prof.Tenant = tenant
 	reqs, lat := requestMetrics(tenant, "http")
 	reqs.Inc()
+	ta := time.Now()
+	_, asp := obs.StartChild(ctx, "admission")
+	asp.AnnotateInt("queue_depth", s.adm.queueDepth())
 	release, err = s.adm.admit(token, s.closed)
+	asp.SetError(err)
+	asp.Finish()
+	prof.addStage("admission", time.Since(ta))
 	return release, lat, err
 }
 
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
-	release, lat, err := s.admitHTTP(r)
+	ctx, root := obs.DefaultTracer().JoinHeader(r.Context(), "serve_query", r.Header.Get(obs.TraceHeader))
+	root.Annotate("proto", "http")
+	prof := &QueryProfile{Proto: "http", Kind: "records"}
+	if root != nil {
+		prof.TraceID = fmt.Sprintf("%016x", root.TraceID())
+	}
+	defer func() {
+		root.Finish()
+		s.profiles.record(prof, t0)
+	}()
+
+	release, lat, err := s.admitHTTP(ctx, prof, r)
 	if err != nil {
+		prof.setError(err)
+		root.SetError(err)
 		httpError(w, err)
 		return
 	}
@@ -131,31 +153,52 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 
 	spec, err := specOf(r)
 	if err != nil {
+		prof.setError(err)
+		root.SetError(err)
 		httpError(w, badRequest(err))
 		return
 	}
+	prof.Query = spec.String()
+	root.Annotate("query", spec.String())
 	q, err := spec.Parse()
 	if err != nil {
+		prof.setError(err)
+		root.SetError(err)
 		httpError(w, badRequest(err))
 		return
 	}
 	span := obs.StartSpan("serve_query")
 	defer span.End()
-	rd, err := s.st.QueryParallel(q, s.opts.Workers)
+
+	// Record streams bypass the cache; the span records the decision.
+	_, csp := obs.StartChild(ctx, "cache")
+	csp.Annotate("result", "uncacheable_stream")
+	csp.Finish()
+
+	ts := time.Now()
+	sctx, ssp := obs.StartChild(ctx, "scan")
+	rd, err := s.st.QueryParallelCtx(sctx, q, s.opts.Workers)
 	if err != nil {
+		ssp.SetError(err)
+		ssp.Finish()
+		prof.addStage("scan", time.Since(ts))
+		prof.setError(err)
+		root.SetError(err)
 		httpError(w, err)
 		return
 	}
-	defer rd.Close()
 
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 	w.Header().Set("Irtl-Generation", strconv.FormatUint(s.generation(), 10))
+	te := time.Now()
+	_, esp := obs.StartChild(ctx, "encode")
 	enc := json.NewEncoder(w)
 	sent := 0
+loop:
 	for {
 		select {
 		case <-s.closed:
-			return // flush what we have; the client sees a truncated stream
+			break loop // flush what we have; the client sees a truncated stream
 		default:
 		}
 		rec, nerr := rd.Next()
@@ -169,7 +212,7 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if enc.Encode(rj) != nil {
-			return // client went away
+			break // client went away
 		}
 		sent++
 		obsRecordsStreamed.Inc()
@@ -177,13 +220,36 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
+	esp.AnnotateInt("records", int64(sent))
+	esp.Finish()
+	prof.addStage("encode", time.Since(te))
 	span.Add(int64(sent))
+	prof.Records = sent
+
+	rd.Close() // finishes the store_scan span with the EXPLAIN profile
+	ex := rd.Explain()
+	prof.Explain = &ex
+	ssp.Finish()
+	prof.addStage("scan", time.Since(ts))
 }
 
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
-	release, lat, err := s.admitHTTP(r)
+	ctx, root := obs.DefaultTracer().JoinHeader(r.Context(), "serve_aggregate", r.Header.Get(obs.TraceHeader))
+	root.Annotate("proto", "http")
+	prof := &QueryProfile{Proto: "http"}
+	if root != nil {
+		prof.TraceID = fmt.Sprintf("%016x", root.TraceID())
+	}
+	defer func() {
+		root.Finish()
+		s.profiles.record(prof, t0)
+	}()
+
+	release, lat, err := s.admitHTTP(ctx, prof, r)
 	if err != nil {
+		prof.setError(err)
+		root.SetError(err)
 		httpError(w, err)
 		return
 	}
@@ -194,29 +260,45 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	if kind == "" {
 		kind = KindClasses
 	}
+	prof.Kind = kind
+	root.Annotate("kind", kind)
 	top := 0
 	if ts := r.URL.Query().Get("top"); ts != "" {
 		if top, err = strconv.Atoi(ts); err != nil || top < 0 {
-			httpError(w, badRequest(fmt.Errorf("bad top %q", ts)))
+			err = badRequest(fmt.Errorf("bad top %q", ts))
+			prof.setError(err)
+			root.SetError(err)
+			httpError(w, err)
 			return
 		}
 	}
 	spec, err := specOf(r)
 	if err != nil {
+		prof.setError(err)
+		root.SetError(err)
 		httpError(w, badRequest(err))
 		return
 	}
+	prof.Query = spec.String()
+	root.Annotate("query", spec.String())
 	q, err := spec.Parse()
 	if err != nil {
+		prof.setError(err)
+		root.SetError(err)
 		httpError(w, badRequest(err))
 		return
 	}
 	if !validKind(kind) {
-		httpError(w, badRequest(fmt.Errorf("unknown kind %q (want %v)", kind, Kinds())))
+		err = badRequest(fmt.Errorf("unknown kind %q (want %v)", kind, Kinds()))
+		prof.setError(err)
+		root.SetError(err)
+		httpError(w, err)
 		return
 	}
-	body, err := s.aggregate(kind, top, q)
+	body, err := s.aggregate(ctx, prof, kind, top, q)
 	if err != nil {
+		prof.setError(err)
+		root.SetError(err)
 		httpError(w, err)
 		return
 	}
@@ -235,14 +317,16 @@ func validKind(kind string) bool {
 
 // Statz is the /v1/statz document.
 type Statz struct {
-	Store          store.Stats `json:"store"`
-	Generation     uint64      `json:"generation"`
-	ActiveSessions int64       `json:"active_sessions"`
-	CacheHits      uint64      `json:"cache_hits"`
-	CacheMisses    uint64      `json:"cache_misses"`
-	CacheEvictions uint64      `json:"cache_evictions"`
-	CacheBytes     int64       `json:"cache_bytes"`
-	Quotas         string      `json:"quotas"`
+	Store          store.Stats    `json:"store"`
+	Generation     uint64         `json:"generation"`
+	ActiveSessions int64          `json:"active_sessions"`
+	QueueDepth     int64          `json:"queue_depth"`
+	CacheHits      uint64         `json:"cache_hits"`
+	CacheMisses    uint64         `json:"cache_misses"`
+	CacheEvictions uint64         `json:"cache_evictions"`
+	CacheBytes     int64          `json:"cache_bytes"`
+	Quotas         string         `json:"quotas"`
+	RecentQueries  []QueryProfile `json:"recent_queries,omitempty"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -252,11 +336,13 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		Store:          st,
 		Generation:     s.generation(),
 		ActiveSessions: s.ActiveSessions(),
+		QueueDepth:     s.adm.queueDepth(),
 		CacheHits:      hits,
 		CacheMisses:    misses,
 		CacheEvictions: evictions,
 		CacheBytes:     bytes,
 		Quotas:         quotasString(s.opts.Quotas, s.opts.DefaultQuota),
+		RecentQueries:  s.profiles.recent(),
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	json.NewEncoder(w).Encode(doc)

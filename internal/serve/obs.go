@@ -31,6 +31,8 @@ var (
 		"Aggregate queries coalesced onto an identical in-flight computation.")
 	obsRecordsStreamed = obs.Default().Counter("irtl_serve_records_total",
 		"Records streamed to remote readers across both protocols.")
+	obsSlowQueries = obs.Default().Counter("irtl_serve_slow_queries_total",
+		"Requests over the slow-query threshold (one NDJSON profile line each).")
 )
 
 // tenantLabel maps a token to its metrics label: named tenants get their own

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"instability/internal/obs"
 	"instability/internal/store"
 )
 
@@ -24,14 +25,23 @@ import (
 // frameEnd carrying the scan stats, or one frameError. Batching amortizes
 // the frame header and the syscall: a dashboard-sized result is a handful
 // of writes, not one per record.
+//
+// Protocol version 2 prepends a fixed 17-byte trace-context prefix to the
+// frameRequest payload — u64 trace ID, u64 parent span ID (both big endian),
+// u8 flags (bit 0 = sampled) — so a remote query joins the caller's trace.
+// All-zero bytes mean "no trace". The server accepts v1 (no prefix) and v2.
 const (
-	protoMagic   = "IRTQ"
-	protoVersion = 1
+	protoMagic     = "IRTQ"
+	protoVersionV1 = 1
+	protoVersion   = 2
 
 	frameRequest = 1
 	frameBatch   = 2
 	frameEnd     = 3
 	frameError   = 4
+
+	// traceCtxLen is the v2 request trace prefix length.
+	traceCtxLen = 17
 
 	// maxFramePayload bounds a frame so a corrupt or hostile length prefix
 	// cannot make the peer allocate unbounded memory.
@@ -59,17 +69,42 @@ type wireRequest struct {
 }
 
 // wireEnd is the frameEnd payload: the result is complete and these are its
-// scan economics.
+// scan economics. Explain is present from v2 servers.
 type wireEnd struct {
 	Records    int             `json:"records"`
 	Generation uint64          `json:"generation"`
 	Stats      store.ScanStats `json:"stats"`
+	Explain    *store.Explain  `json:"explain,omitempty"`
 }
 
 // wireError is the frameError payload.
 type wireError struct {
 	Code string `json:"code"`
 	Msg  string `json:"msg"`
+}
+
+// appendTraceCtx appends the 17-byte v2 trace prefix for sp (all zeros when
+// sp is nil or untraced).
+func appendTraceCtx(dst []byte, sp *obs.TraceSpan) []byte {
+	var buf [traceCtxLen]byte
+	binary.BigEndian.PutUint64(buf[0:8], sp.TraceID())
+	binary.BigEndian.PutUint64(buf[8:16], sp.SpanID())
+	if sp.Sampled() {
+		buf[16] = obs.TraceFlagSampled
+	}
+	return append(dst, buf[:]...)
+}
+
+// parseTraceCtx splits a v2 request payload into its trace context and the
+// JSON remainder.
+func parseTraceCtx(payload []byte) (traceID, spanID uint64, sampled bool, rest []byte, err error) {
+	if len(payload) < traceCtxLen {
+		return 0, 0, false, nil, fmt.Errorf("serve: request shorter than trace prefix")
+	}
+	traceID = binary.BigEndian.Uint64(payload[0:8])
+	spanID = binary.BigEndian.Uint64(payload[8:16])
+	sampled = payload[16]&obs.TraceFlagSampled != 0
+	return traceID, spanID, sampled, payload[traceCtxLen:], nil
 }
 
 func writeFrame(w io.Writer, typ byte, payload []byte) error {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"instability"
@@ -32,6 +33,30 @@ type QuerySpec struct {
 // Parse resolves the spec into a store query.
 func (qs QuerySpec) Parse() (store.Query, error) {
 	return store.ParseQuery(qs.From, qs.To, qs.Peer, qs.Origin, qs.Prefix, qs.Type)
+}
+
+// String renders the spec in the CLI flag spelling, for slow-query log lines
+// and trace annotations. The zero spec renders as "all".
+func (qs QuerySpec) String() string {
+	var parts []string
+	add := func(k, v string) {
+		if v != "" {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	add("from", qs.From)
+	add("to", qs.To)
+	add("peer", qs.Peer)
+	add("origin", qs.Origin)
+	add("prefix", qs.Prefix)
+	add("type", qs.Type)
+	if qs.Limit > 0 {
+		parts = append(parts, "limit="+strconv.Itoa(qs.Limit))
+	}
+	if len(parts) == 0 {
+		return "all"
+	}
+	return strings.Join(parts, " ")
 }
 
 // RecordJSON is the lossless JSON form of a collector record used by the

@@ -22,6 +22,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -63,6 +64,12 @@ type Options struct {
 	// DrainTimeout bounds how long Close waits for in-flight requests
 	// before force-closing their connections. Default 5s.
 	DrainTimeout time.Duration
+	// SlowQuery is the slow-query threshold: any request at or over it emits
+	// one NDJSON QueryProfile line. Zero means 1s; negative disables the log
+	// (profiles are still gathered for /v1/statz).
+	SlowQuery time.Duration
+	// SlowQueryLog receives the NDJSON lines. Nil means os.Stderr.
+	SlowQueryLog io.Writer
 
 	// now overrides the clock for token-bucket tests.
 	now func() time.Time
@@ -92,12 +99,13 @@ func (o Options) withDefaults() Options {
 
 // Server is a running serving plane over one store.
 type Server struct {
-	opts    Options
-	st      *store.Store
-	adm     *admission
-	cache   *resultCache
-	flight  *flightGroup
-	lastGen atomic.Uint64
+	opts     Options
+	st       *store.Store
+	adm      *admission
+	cache    *resultCache
+	flight   *flightGroup
+	profiles *profileLog
+	lastGen  atomic.Uint64
 
 	ln      net.Listener
 	httpLn  *chanListener
@@ -117,13 +125,14 @@ func New(opts Options) (*Server, error) {
 	}
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:   opts,
-		st:     opts.Store,
-		adm:    newAdmission(opts.MaxSessions, opts.MaxQueue, opts.QueueWait, opts.Quotas, opts.DefaultQuota, opts.now),
-		cache:  newResultCache(opts.CacheBytes),
-		flight: newFlightGroup(),
-		conns:  make(map[net.Conn]struct{}),
-		closed: make(chan struct{}),
+		opts:     opts,
+		st:       opts.Store,
+		adm:      newAdmission(opts.MaxSessions, opts.MaxQueue, opts.QueueWait, opts.Quotas, opts.DefaultQuota, opts.now),
+		cache:    newResultCache(opts.CacheBytes),
+		flight:   newFlightGroup(),
+		profiles: newProfileLog(opts.SlowQuery, opts.SlowQueryLog),
+		conns:    make(map[net.Conn]struct{}),
+		closed:   make(chan struct{}),
 	}
 	s.lastGen.Store(s.st.Generation())
 	return s, nil
@@ -196,12 +205,13 @@ func (s *Server) route(conn net.Conn) {
 		defer s.track(conn, false)
 		defer conn.Close()
 		br.Discard(len(protoMagic) + 1)
-		if preamble[len(protoMagic)] != protoVersion {
+		ver := preamble[len(protoMagic)]
+		if ver != protoVersionV1 && ver != protoVersion {
 			writeJSONFrame(conn, frameError, wireError{Code: codeBadQuery,
-				Msg: fmt.Sprintf("unsupported protocol version %d", preamble[len(protoMagic)])})
+				Msg: fmt.Sprintf("unsupported protocol version %d", ver)})
 			return
 		}
-		s.handleBinary(conn, br)
+		s.handleBinary(conn, br, ver)
 		return
 	}
 	// HTTP: hand the connection (with the sniffed bytes still unread) to
@@ -234,14 +244,24 @@ func (s *Server) generation() uint64 {
 }
 
 // handleBinary speaks the frame protocol on one connection: one request, one
-// streamed response.
-func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
+// streamed response. ver is the negotiated protocol version; v2 requests
+// carry a trace prefix the handler joins, so the remote caller's query,
+// admission wait, scan, and encode appear as one tree.
+func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader, ver byte) {
 	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
 	typ, payload, err := readFrame(br)
 	conn.SetReadDeadline(time.Time{})
 	if err != nil || typ != frameRequest {
 		writeJSONFrame(conn, frameError, wireError{Code: codeBadQuery, Msg: "expected request frame"})
 		return
+	}
+	var traceID, parentSpan uint64
+	var sampled bool
+	if ver >= protoVersion {
+		if traceID, parentSpan, sampled, payload, err = parseTraceCtx(payload); err != nil {
+			writeJSONFrame(conn, frameError, wireError{Code: codeBadQuery, Msg: err.Error()})
+			return
+		}
 	}
 	var req wireRequest
 	if err := unmarshalStrict(payload, &req); err != nil {
@@ -255,8 +275,29 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 	t0 := time.Now()
 	defer func() { lat.ObserveSince(t0) }()
 
+	ctx, root := obs.DefaultTracer().Join(context.Background(), "serve_query", traceID, parentSpan, sampled)
+	root.Annotate("proto", "binary")
+	root.Annotate("tenant", tenant)
+	root.Annotate("query", req.Query.String())
+	prof := &QueryProfile{Tenant: tenant, Proto: "binary", Kind: "records", Query: req.Query.String()}
+	if root != nil {
+		prof.TraceID = fmt.Sprintf("%016x", root.TraceID())
+	}
+	defer func() {
+		root.Finish()
+		s.profiles.record(prof, t0)
+	}()
+
+	ta := time.Now()
+	_, asp := obs.StartChild(ctx, "admission")
+	asp.AnnotateInt("queue_depth", s.adm.queueDepth())
 	release, err := s.adm.admit(req.Token, s.closed)
+	asp.SetError(err)
+	asp.Finish()
+	prof.addStage("admission", time.Since(ta))
 	if err != nil {
+		prof.setError(err)
+		root.SetError(err)
 		writeJSONFrame(conn, frameError, shedError(err))
 		return
 	}
@@ -264,30 +305,60 @@ func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
 
 	q, err := req.Query.Parse()
 	if err != nil {
+		prof.setError(err)
+		root.SetError(err)
 		writeJSONFrame(conn, frameError, wireError{Code: codeBadQuery, Msg: err.Error()})
 		return
 	}
 	span := obs.StartSpan("serve_query")
 	defer span.End()
 
+	// Record streams are never cached; the cache span records the decision so
+	// the trace shows the stage was consulted, not skipped.
+	_, csp := obs.StartChild(ctx, "cache")
+	csp.Annotate("result", "uncacheable_stream")
+	csp.Finish()
+
 	gen := s.generation()
-	r, err := s.st.QueryParallel(q, s.opts.Workers)
+	ts := time.Now()
+	sctx, ssp := obs.StartChild(ctx, "scan")
+	r, err := s.st.QueryParallelCtx(sctx, q, s.opts.Workers)
 	if err != nil {
+		ssp.SetError(err)
+		ssp.Finish()
+		prof.addStage("scan", time.Since(ts))
+		prof.setError(err)
+		root.SetError(err)
 		writeJSONFrame(conn, frameError, wireError{Code: codeInternal, Msg: err.Error()})
 		return
 	}
-	defer r.Close()
 
+	te := time.Now()
+	_, esp := obs.StartChild(ctx, "encode")
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	sent, err := s.streamBinary(bw, conn, r, req.Query.Limit)
+	sent, serr := s.streamBinary(bw, conn, r, req.Query.Limit)
+	esp.AnnotateInt("records", int64(sent))
+	esp.SetError(serr)
+	esp.Finish()
+	prof.addStage("encode", time.Since(te))
 	span.Add(int64(sent))
-	if err != nil {
+	prof.Records = sent
+
+	r.Close() // finishes the store_scan span with the EXPLAIN profile
+	ex := r.Explain()
+	prof.Explain = &ex
+	ssp.Finish()
+	prof.addStage("scan", time.Since(ts))
+
+	if serr != nil {
 		// The connection may already be dead; a best-effort error frame.
-		writeJSONFrame(bw, frameError, wireError{Code: codeInternal, Msg: err.Error()})
+		prof.setError(serr)
+		root.SetError(serr)
+		writeJSONFrame(bw, frameError, wireError{Code: codeInternal, Msg: serr.Error()})
 		bw.Flush()
 		return
 	}
-	if err := writeJSONFrame(bw, frameEnd, wireEnd{Records: sent, Generation: gen, Stats: r.Stats()}); err != nil {
+	if err := writeJSONFrame(bw, frameEnd, wireEnd{Records: sent, Generation: gen, Stats: r.Stats(), Explain: &ex}); err != nil {
 		return
 	}
 	bw.Flush()
@@ -363,34 +434,69 @@ func appendUvarintFront(records []byte, count uint64) []byte {
 }
 
 // aggregate answers an aggregate query through singleflight and the cache,
-// returning the serialized JSON body shared by both protocols.
-func (s *Server) aggregate(kind string, top int, q store.Query) ([]byte, error) {
+// returning the serialized JSON body shared by both protocols. The cache
+// lookup, singleflight outcome, and store scan all land on the request's
+// trace and profile.
+func (s *Server) aggregate(ctx context.Context, prof *QueryProfile, kind string, top int, q store.Query) ([]byte, error) {
 	gen := s.generation()
 	key := aggregateCacheKey(gen, kind, top, q)
+	tc := time.Now()
+	_, csp := obs.StartChild(ctx, "cache")
 	if body, ok := s.cache.get(key); ok {
+		csp.Annotate("result", "hit")
+		csp.Finish()
+		prof.addStage("cache", time.Since(tc))
+		prof.CacheHit = true
 		return body, nil
 	}
-	body, _, err := s.flight.do(key, func() ([]byte, error) {
-		span := obs.StartSpan("serve_aggregate")
+	csp.Annotate("result", "miss")
+	csp.Finish()
+	prof.addStage("cache", time.Since(tc))
+
+	tagg := time.Now()
+	var ex *store.Explain
+	body, shared, err := s.flight.do(key, func() ([]byte, error) {
+		span, sctx := obs.StartSpanCtx(ctx, "serve_aggregate")
 		defer span.End()
-		r, err := s.st.QueryParallel(q, s.opts.Workers)
-		if err != nil {
-			return nil, err
+		tsc := time.Now()
+		_, ssp := obs.StartChild(sctx, "scan")
+		r, qerr := s.st.QueryParallelCtx(sctx, q, s.opts.Workers)
+		if qerr != nil {
+			ssp.SetError(qerr)
+			ssp.Finish()
+			prof.addStage("scan", time.Since(tsc))
+			return nil, qerr
 		}
-		defer r.Close()
-		agg, err := computeAggregate(readerOnly{r}, kind, top)
-		if err != nil {
-			return nil, err
+		agg, aerr := computeAggregate(readerOnly{r}, kind, top)
+		r.Close()
+		e := r.Explain()
+		ex = &e
+		ssp.Finish()
+		prof.addStage("scan", time.Since(tsc))
+		if aerr != nil {
+			return nil, aerr
 		}
 		agg.Generation = gen
 		span.Add(int64(agg.Records))
-		body, err := marshalJSON(agg)
-		if err != nil {
-			return nil, err
+		te := time.Now()
+		_, esp := obs.StartChild(sctx, "encode")
+		body, merr := marshalJSON(agg)
+		esp.Finish()
+		prof.addStage("encode", time.Since(te))
+		if merr != nil {
+			return nil, merr
 		}
 		s.cache.put(key, gen, body)
 		return body, nil
 	})
+	prof.addStage("aggregate", time.Since(tagg))
+	prof.Coalesced = shared
+	if ex != nil {
+		prof.Explain = ex
+	}
+	if shared {
+		obs.SpanFromContext(ctx).Annotate("coalesced", "true")
+	}
 	return body, err
 }
 

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"instability/internal/obs"
+)
+
+// benchStore builds a sealed multi-segment store once per benchmark run.
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	s, err := Open(b.TempDir(), testOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	w := s.Writer()
+	for _, rec := range hourlyWorkload(4, 400) {
+		if err := w.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func drainReader(b *testing.B, r *Reader) int {
+	b.Helper()
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		n++
+	}
+	return n
+}
+
+// BenchmarkStoreQuery measures one full indexed scan, untraced versus inside
+// an active trace. With no span in the context every tracing hook in the
+// read path (StartChild, segmentSpan, the EXPLAIN annotations on Close) is a
+// nil no-op, so Untraced allocs/op is the pre-tracing baseline — the delta
+// tracing adds when disabled is zero (pinned by
+// TestQueryUntracedTracingAllocsZero).
+func BenchmarkStoreQuery(b *testing.B) {
+	s := benchStore(b)
+	q := Query{}
+
+	b.Run("Untraced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := s.QueryCtx(context.Background(), q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			drainReader(b, r)
+			r.Close()
+		}
+	})
+
+	b.Run("Traced", func(b *testing.B) {
+		tracer := &obs.Tracer{}
+		tracer.Enable(obs.TraceConfig{SampleRate: 0, SlowThreshold: -1})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx, root := tracer.Start(context.Background(), "bench")
+			r, err := s.QueryCtx(ctx, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			drainReader(b, r)
+			r.Close()
+			root.Finish()
+		}
+	})
+}
+
+// TestQueryUntracedTracingAllocsZero pins the zero-allocation contract of
+// the tracing seam the read path threads through: with no active span, the
+// exact obs calls QueryCtx/segStream/Close make must not allocate.
+func TestQueryUntracedTracingAllocsZero(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		_, sp := obs.StartChild(ctx, "store_scan") // QueryCtx root hook
+		seg := segmentSpan(sp, nil, 0)             // per-segment child hook
+		seg.Annotate("quarantined_block", "x")     // quarantine annotation
+		seg.Finish()                               // segStream close
+		Explain{}.annotate(sp)                     // Reader.Close EXPLAIN attach
+		sp.SetError(nil)
+		sp.Finish()
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced read path allocates %.1f per query from tracing hooks, want 0", allocs)
+	}
+}

@@ -10,9 +10,9 @@ import (
 
 // CompactStats reports what a compaction pass did.
 type CompactStats struct {
-	SegmentsBefore  int
-	SegmentsAfter   int
-	SegmentsMerged  int   // inputs consumed by merges
+	SegmentsBefore   int
+	SegmentsAfter    int
+	SegmentsMerged   int // inputs consumed by merges
 	RecordsRewritten int64
 }
 

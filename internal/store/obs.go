@@ -52,6 +52,10 @@ var (
 		"Records decoded from scanned blocks.")
 	obsQueryRecordsMatched = obs.Default().Counter("irtl_store_query_records_matched_total",
 		"Records that satisfied the full query predicate.")
+	obsQueryBytesRead = obs.Default().Counter("irtl_store_query_bytes_read_total",
+		"Compressed segment bytes read by queries.")
+	obsQueryBytesDecompressed = obs.Default().Counter("irtl_store_query_bytes_decompressed_total",
+		"Decompressed bytes produced by query block scans.")
 
 	obsQuarantinedBlocks = obs.Default().Counter("irtl_store_quarantined_blocks",
 		"Corrupt segment blocks skipped (quarantined) by queries instead of failing the scan.")
@@ -73,4 +77,6 @@ func publishScanStats(st ScanStats) {
 	obsQueryBlocksScanned.Add(int64(st.BlocksScanned))
 	obsQueryRecordsScanned.Add(int64(st.RecordsScanned + st.MemRecords))
 	obsQueryRecordsMatched.Add(int64(st.RecordsMatched))
+	obsQueryBytesRead.Add(st.BytesRead)
+	obsQueryBytesDecompressed.Add(st.BytesDecompressed)
 }

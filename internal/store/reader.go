@@ -2,6 +2,7 @@ package store
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -9,20 +10,26 @@ import (
 
 	"instability/internal/collector"
 	"instability/internal/faults"
+	"instability/internal/obs"
 )
 
 // ScanStats reports how much work a query actually did, making predicate
 // pushdown measurable: a filtered query over a multi-segment store should
 // show BlocksScanned (decompressed) well below BlocksTotal.
 type ScanStats struct {
-	SegmentsTotal     int // sealed segments in the store at query time
-	SegmentsScanned   int // segments not skipped by segment-level pruning
-	BlocksTotal       int // blocks across all segments
-	BlocksScanned     int // blocks actually decompressed
-	BlocksQuarantined int // corrupt blocks skipped instead of failing the scan
-	RecordsScanned    int // records decoded from those blocks
-	RecordsMatched    int // records that satisfied the full predicate
-	MemRecords        int // unsealed records considered from the memtable
+	SegmentsTotal     int   // sealed segments in the store at query time
+	SegmentsScanned   int   // segments not skipped by segment-level pruning
+	BlocksTotal       int   // blocks across all segments
+	BlocksSelected    int   // blocks the per-block index selected as candidates
+	BlocksScanned     int   // blocks actually decompressed
+	BlocksQuarantined int   // corrupt blocks skipped instead of failing the scan
+	BlocksV1          int   // scanned blocks in v1 (inline-attr) format
+	BlocksV2          int   // scanned blocks in v2 (dictionary) format
+	RecordsScanned    int   // records decoded from those blocks
+	RecordsMatched    int   // records that satisfied the full predicate
+	MemRecords        int   // unsealed records considered from the memtable
+	BytesRead         int64 // compressed bytes read from segment files
+	BytesDecompressed int64 // bytes after decompression
 }
 
 // Reader streams the result of a Query in timestamp order. It implements
@@ -35,16 +42,28 @@ type Reader struct {
 	pool    *scanPool // non-nil only for QueryParallel readers
 	err     error     // sticky terminal scan error
 	closed  bool
+	gen     uint64         // store generation at query time
+	workers int            // scan workers (1 = serial)
+	span    *obs.TraceSpan // "store_scan" child of the request trace; nil when untraced
 }
 
 // Query opens a reader over everything currently in the store — sealed
 // segments and the unsealed memtable — that may match q. Results are merged
 // in timestamp order (ties broken by segment age, then log order).
 func (s *Store) Query(q Query) (*Reader, error) {
+	return s.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query carrying a request context: when ctx holds an active
+// trace span, the scan appears in the trace as a "store_scan" child (one
+// grandchild per scanned segment) annotated with the EXPLAIN profile at
+// Close. An untraced ctx costs nothing.
+func (s *Store) QueryCtx(ctx context.Context, q Query) (*Reader, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	obsQueries.Inc()
-	r := &Reader{q: q}
+	_, span := obs.StartChild(ctx, "store_scan")
+	r := &Reader{q: q, gen: s.Generation(), workers: 1, span: span}
 	r.stats.SegmentsTotal = len(s.segs)
 	for _, g := range s.segs {
 		r.stats.BlocksTotal += len(g.index.blocks)
@@ -59,14 +78,18 @@ func (s *Store) Query(q Query) (*Reader, error) {
 		if len(blocks) == 0 {
 			continue
 		}
+		r.stats.BlocksSelected += len(blocks)
 		f, err := s.fs.Open(g.path)
 		if err != nil {
+			r.err = err
 			r.Close()
 			return nil, err
 		}
-		sc := &segStream{r: r, seg: g, f: f, blocks: blocks, order: g.seq, quarantine: true}
+		sc := &segStream{r: r, seg: g, f: f, blocks: blocks, order: g.seq, quarantine: true,
+			span: segmentSpan(span, g, len(blocks))}
 		if err := sc.advance(); err != nil {
 			r.retire(sc)
+			r.err = err
 			r.Close()
 			return nil, err
 		}
@@ -111,10 +134,7 @@ func (r *Reader) Next() (collector.Record, error) {
 			return collector.Record{}, r.err
 		}
 		heap.Fix(&r.streams, 0)
-		scanned, blocks, quarantined := st.drain()
-		r.stats.RecordsScanned += scanned
-		r.stats.BlocksScanned += blocks
-		r.stats.BlocksQuarantined += quarantined
+		r.stats.fold(st.drain())
 		if !r.q.match(rec) {
 			continue
 		}
@@ -143,8 +163,10 @@ func (r *Reader) ReadAll() ([]collector.Record, error) {
 // reader returns io.EOF.
 func (r *Reader) Stats() ScanStats { return r.stats }
 
-// Close releases the reader's open segment files and publishes the query's
-// pushdown accounting to the process metrics.
+// Close releases the reader's open segment files, publishes the query's
+// pushdown accounting to the process metrics, and — when the query runs
+// inside a trace — finishes the "store_scan" span with the EXPLAIN profile
+// attached.
 func (r *Reader) Close() error {
 	if r.closed {
 		return nil
@@ -161,6 +183,11 @@ func (r *Reader) Close() error {
 		r.pool.shutdown()
 		r.pool = nil
 	}
+	if r.span != nil {
+		r.Explain().annotate(r.span)
+		r.span.SetError(r.err)
+		r.span.Finish()
+	}
 	return nil
 }
 
@@ -168,10 +195,7 @@ func (r *Reader) Close() error {
 // closes it, so blocks scanned or quarantined during a stream's final
 // advance (or before an early Close) are never under-reported.
 func (r *Reader) retire(st stream) {
-	scanned, blocks, quarantined := st.drain()
-	r.stats.RecordsScanned += scanned
-	r.stats.BlocksScanned += blocks
-	r.stats.BlocksQuarantined += quarantined
+	r.stats.fold(st.drain())
 	st.close()
 }
 
@@ -229,6 +253,55 @@ func (g *segment) candidateBlocks(q Query) (blocks []int, scan bool) {
 	return blocks, true
 }
 
+// scanDelta is incremental scan accounting drained from a stream into
+// Reader.stats: records/blocks scanned, quarantined blocks, raw and
+// decompressed bytes, and the format-version split of the scanned blocks.
+type scanDelta struct {
+	scanned     int
+	blocks      int
+	quarantined int
+	bytesRead   int64
+	bytesOut    int64
+	v1, v2      int
+}
+
+// noteBlock accumulates one successfully scanned block.
+func (d *scanDelta) noteBlock(g *segment, bi, recs int) {
+	bm := g.index.blocks[bi]
+	d.blocks++
+	d.scanned += recs
+	d.bytesRead += int64(bm.clen)
+	d.bytesOut += int64(bm.ulen)
+	if g.ver >= segVersionV2 {
+		d.v2++
+	} else {
+		d.v1++
+	}
+}
+
+// fold adds a drained delta into the query's ScanStats.
+func (st *ScanStats) fold(d scanDelta) {
+	st.RecordsScanned += d.scanned
+	st.BlocksScanned += d.blocks
+	st.BlocksQuarantined += d.quarantined
+	st.BytesRead += d.bytesRead
+	st.BytesDecompressed += d.bytesOut
+	st.BlocksV1 += d.v1
+	st.BlocksV2 += d.v2
+}
+
+// segmentSpan opens the per-segment trace span under the scan span. Nil in,
+// nil out: untraced queries pay nothing.
+func segmentSpan(parent *obs.TraceSpan, g *segment, blocks int) *obs.TraceSpan {
+	if parent == nil {
+		return nil
+	}
+	sp := parent.StartChild("segment")
+	sp.Annotate("path", g.path)
+	sp.AnnotateInt("blocks_selected", int64(blocks))
+	return sp
+}
+
 // stream is one sorted source feeding the merge heap.
 type stream interface {
 	head() (collector.Record, bool)
@@ -236,10 +309,9 @@ type stream interface {
 	advance() error
 	// less orders streams by current head; ties broken by stream order.
 	key() (t int64, order uint64)
-	// drain returns and resets the records/blocks scanned and blocks
-	// quarantined since the last call, for incremental accounting into
-	// Reader.stats.
-	drain() (scanned, blocks, quarantined int)
+	// drain returns and resets the scan accounting accumulated since the
+	// last call, for incremental accounting into Reader.stats.
+	drain() scanDelta
 	close()
 }
 
@@ -270,9 +342,8 @@ type segStream struct {
 	// permanent record loss.
 	quarantine bool
 
-	scanned     int // records decoded since last drain into Reader.stats
-	blocksRead  int
-	quarantined int
+	acc  scanDelta      // accounting since last drain into Reader.stats
+	span *obs.TraceSpan // per-segment trace span; nil when untraced
 }
 
 func (sc *segStream) head() (collector.Record, bool) { return sc.cur, sc.ok }
@@ -291,11 +362,13 @@ func (sc *segStream) advance() error {
 		}
 		// sc.recs is fully consumed here (ri == len), so its backing array
 		// is handed back for reuse — one record buffer per stream, total.
-		recs, err := sc.seg.readBlock(sc.f, sc.blocks[sc.bi], sc.recs)
+		bi := sc.blocks[sc.bi]
+		recs, err := sc.seg.readBlock(sc.f, bi, sc.recs)
 		if err != nil {
 			if sc.quarantine && isCorrupt(err) {
-				quarantineBlock(sc.seg.path, sc.blocks[sc.bi], err)
-				sc.quarantined++
+				quarantineBlock(sc.seg.path, bi, err)
+				sc.acc.quarantined++
+				sc.span.AnnotateInt("quarantined_block", int64(bi))
 				sc.bi++
 				continue
 			}
@@ -303,21 +376,22 @@ func (sc *segStream) advance() error {
 			return fmt.Errorf("segment %s: %w", sc.seg.path, err)
 		}
 		sc.bi++
-		sc.blocksRead++
-		sc.scanned += len(recs)
+		sc.acc.noteBlock(sc.seg, bi, len(recs))
 		sc.recs, sc.ri = recs, 0
 	}
 }
 
 func (sc *segStream) key() (int64, uint64) { return sc.cur.Time.UnixNano(), sc.order }
 
-func (sc *segStream) drain() (int, int, int) {
-	s, b, q := sc.scanned, sc.blocksRead, sc.quarantined
-	sc.scanned, sc.blocksRead, sc.quarantined = 0, 0, 0
-	return s, b, q
+func (sc *segStream) drain() scanDelta {
+	d := sc.acc
+	sc.acc = scanDelta{}
+	return d
 }
 
 func (sc *segStream) close() {
+	sc.span.Finish()
+	sc.span = nil
 	if sc.f != nil {
 		sc.f.Close()
 		sc.f = nil
@@ -348,7 +422,7 @@ func (ms *memStream) advance() error {
 
 func (ms *memStream) key() (int64, uint64) { return ms.cur.Time.UnixNano(), ms.order }
 
-func (ms *memStream) drain() (int, int, int) { return 0, 0, 0 }
+func (ms *memStream) drain() scanDelta { return scanDelta{} }
 
 func (ms *memStream) close() {}
 

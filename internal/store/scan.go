@@ -2,6 +2,7 @@ package store
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -10,6 +11,7 @@ import (
 
 	"instability/internal/collector"
 	"instability/internal/faults"
+	"instability/internal/obs"
 )
 
 // Parallel query execution. QueryParallel produces the exact record sequence
@@ -119,14 +121,21 @@ func (p *scanPool) shutdown() {
 // and an error during setup closes every segment file already opened and
 // drains every in-flight worker before returning.
 func (s *Store) QueryParallel(q Query, workers int) (*Reader, error) {
+	return s.QueryParallelCtx(context.Background(), q, workers)
+}
+
+// QueryParallelCtx is QueryParallel carrying a request context; see QueryCtx
+// for the tracing contract.
+func (s *Store) QueryParallelCtx(ctx context.Context, q Query, workers int) (*Reader, error) {
 	if workers <= 1 {
-		return s.Query(q)
+		return s.QueryCtx(ctx, q)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	obsQueries.Inc()
 	obsParallelScans.Inc()
-	r := &Reader{q: q}
+	_, span := obs.StartChild(ctx, "store_scan")
+	r := &Reader{q: q, gen: s.Generation(), workers: workers, span: span}
 	r.stats.SegmentsTotal = len(s.segs)
 	for _, g := range s.segs {
 		r.stats.BlocksTotal += len(g.index.blocks)
@@ -147,6 +156,7 @@ func (s *Store) QueryParallel(q Query, workers int) (*Reader, error) {
 		if len(blocks) == 0 {
 			continue
 		}
+		r.stats.BlocksSelected += len(blocks)
 		cands = append(cands, candidate{seg: g, blocks: blocks})
 		totalBlocks += len(blocks)
 	}
@@ -155,6 +165,7 @@ func (s *Store) QueryParallel(q Query, workers int) (*Reader, error) {
 		if workers > totalBlocks {
 			workers = totalBlocks
 		}
+		r.workers = workers
 		obsScanWorkers.SetInt(int64(workers))
 		r.pool = newScanPool(workers, 2*workers)
 		for _, c := range cands {
@@ -162,13 +173,16 @@ func (s *Store) QueryParallel(q Query, workers int) (*Reader, error) {
 			if err != nil {
 				// r.Close drains the streams (and their in-flight blocks)
 				// already set up, then shuts the pool down.
+				r.err = err
 				r.Close()
 				return nil, err
 			}
-			sc := &parSegStream{seg: c.seg, f: f, pool: r.pool, blocks: c.blocks, order: c.seg.seq}
+			sc := &parSegStream{seg: c.seg, f: f, pool: r.pool, blocks: c.blocks, order: c.seg.seq,
+				span: segmentSpan(span, c.seg, len(c.blocks))}
 			sc.fill()
 			if err := sc.advance(); err != nil {
 				r.retire(sc)
+				r.err = err
 				r.Close()
 				return nil, err
 			}
@@ -183,12 +197,15 @@ func (s *Store) QueryParallel(q Query, workers int) (*Reader, error) {
 		for _, c := range cands {
 			f, err := s.fs.Open(c.seg.path)
 			if err != nil {
+				r.err = err
 				r.Close()
 				return nil, err
 			}
-			sc := &segStream{r: r, seg: c.seg, f: f, blocks: c.blocks, order: c.seg.seq, quarantine: true}
+			sc := &segStream{r: r, seg: c.seg, f: f, blocks: c.blocks, order: c.seg.seq, quarantine: true,
+				span: segmentSpan(span, c.seg, len(c.blocks))}
 			if err := sc.advance(); err != nil {
 				r.retire(sc)
+				r.err = err
 				r.Close()
 				return nil, err
 			}
@@ -213,23 +230,22 @@ func (s *Store) QueryParallel(q Query, workers int) (*Reader, error) {
 // decompression delegated to the reader's scanPool. All methods run on the
 // merge consumer goroutine; only the pool workers touch the segment file.
 type parSegStream struct {
-	seg     *segment
-	f       faults.File
-	pool    *scanPool
+	seg       *segment
+	f         faults.File
+	pool      *scanPool
 	blocks    []int
 	nextSub   int                // next index into blocks to submit
 	pending   []chan blockResult // FIFO of in-flight block results
 	pendingBi []int              // block index of each pending result
-	recs    []collector.Record
-	pooled  bool // recs came from recBufPool and must go back
-	ri      int
-	cur     collector.Record
-	ok      bool
-	order   uint64
+	recs      []collector.Record
+	pooled    bool // recs came from recBufPool and must go back
+	ri        int
+	cur       collector.Record
+	ok        bool
+	order     uint64
 
-	scanned     int
-	blocksRead  int
-	quarantined int
+	acc  scanDelta
+	span *obs.TraceSpan // per-segment trace span; nil when untraced
 }
 
 // fill tops the in-flight window up to scanLookahead+1 submitted blocks.
@@ -266,15 +282,15 @@ func (sc *parSegStream) advance() error {
 		if res.err != nil {
 			if isCorrupt(res.err) {
 				quarantineBlock(sc.seg.path, bi, res.err)
-				sc.quarantined++
+				sc.acc.quarantined++
+				sc.span.AnnotateInt("quarantined_block", int64(bi))
 				sc.fill()
 				continue
 			}
 			sc.ok = false
 			return fmt.Errorf("segment %s: %w", sc.seg.path, res.err)
 		}
-		sc.blocksRead++
-		sc.scanned += len(res.recs)
+		sc.acc.noteBlock(sc.seg, bi, len(res.recs))
 		// The previous block's records are all consumed (copied out by
 		// value), so its buffer goes back to the workers.
 		if sc.pooled {
@@ -287,10 +303,10 @@ func (sc *parSegStream) advance() error {
 
 func (sc *parSegStream) key() (int64, uint64) { return sc.cur.Time.UnixNano(), sc.order }
 
-func (sc *parSegStream) drain() (int, int, int) {
-	s, b, q := sc.scanned, sc.blocksRead, sc.quarantined
-	sc.scanned, sc.blocksRead, sc.quarantined = 0, 0, 0
-	return s, b, q
+func (sc *parSegStream) drain() scanDelta {
+	d := sc.acc
+	sc.acc = scanDelta{}
+	return d
 }
 
 // close releases the stream's file and reclaims every pooled buffer it still
@@ -300,6 +316,8 @@ func (sc *parSegStream) drain() (int, int, int) {
 // single-slot channel, so this drain never blocks indefinitely and no buffer
 // is stranded in an unread channel.
 func (sc *parSegStream) close() {
+	sc.span.Finish()
+	sc.span = nil
 	for _, ch := range sc.pending {
 		res := <-ch
 		if res.recs != nil {

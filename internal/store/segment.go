@@ -39,7 +39,7 @@ type segment struct {
 	path string
 	seq  uint64 // segment file number
 	size int64
-	ver  byte   // block format version (segVersionV1 or segVersionV2)
+	ver  byte // block format version (segVersionV1 or segVersionV2)
 	// di, when set by the owning store, canonicalizes dictionary entries at
 	// decode time so repeated scans share attribute storage.
 	di *decodeInterner
