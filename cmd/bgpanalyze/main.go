@@ -55,6 +55,8 @@ func main() {
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "classifier shards and store-scan workers (1 = serial)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 		traceSample = flag.Float64("trace-sample", 0, "trace this run (0 = off, 1 = always); with -remote the trace ID is shared with the server")
+		blockCache  = flag.Int64("block-cache-bytes", 32<<20, "store query: shared decompressed-block cache budget in bytes (0 = off)")
+		noMmap      = flag.Bool("no-mmap", false, "store query: disable memory-mapped segment reads")
 	)
 	flag.Parse()
 	sources := 0
@@ -116,7 +118,7 @@ func main() {
 		if qerr != nil {
 			log.Fatal(qerr)
 		}
-		s, serr := store.Open(*storeDir, store.Options{})
+		s, serr := store.Open(*storeDir, store.Options{BlockCacheBytes: *blockCache, NoMmap: *noMmap})
 		if serr != nil {
 			log.Fatal(serr)
 		}

@@ -57,6 +57,8 @@ func main() {
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "store query: segment-scan decompression workers (1 = serial scan)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 		traceSample = flag.Float64("trace-sample", 0, "head-sample fraction of traces for /debug/traces (0 = off)")
+		blockCache  = flag.Int64("block-cache-bytes", 32<<20, "store query: shared decompressed-block cache budget in bytes (0 = off)")
+		noMmap      = flag.Bool("no-mmap", false, "store query: disable memory-mapped segment reads")
 	)
 	flag.Parse()
 	if *traceSample > 0 {
@@ -82,7 +84,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	r, src, err := openInput(*in, *storeDir, *from, *to, *origin, *prefix, *parallel)
+	r, src, err := openInput(*in, *storeDir, *from, *to, *origin, *prefix, *parallel, *blockCache, *noMmap)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -202,7 +204,7 @@ loop:
 // or an indexed store query for -store. The -peer flag is applied in the
 // replay loop either way, so it is not folded into the store query here;
 // time, origin, and prefix predicates are pushed down to the store.
-func openInput(in, storeDir, from, to, origin, prefix string, parallel int) (collector.RecordReader, string, error) {
+func openInput(in, storeDir, from, to, origin, prefix string, parallel int, blockCache int64, noMmap bool) (collector.RecordReader, string, error) {
 	if in != "" {
 		r, _, err := collector.OpenAny(in)
 		return r, in, err
@@ -211,7 +213,7 @@ func openInput(in, storeDir, from, to, origin, prefix string, parallel int) (col
 	if err != nil {
 		return nil, "", err
 	}
-	s, err := store.Open(storeDir, store.Options{})
+	s, err := store.Open(storeDir, store.Options{BlockCacheBytes: blockCache, NoMmap: noMmap})
 	if err != nil {
 		return nil, "", err
 	}

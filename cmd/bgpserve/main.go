@@ -53,6 +53,8 @@ func main() {
 		traceRing   = flag.Int("trace-ring", 256, "completed traces retained for /debug/traces")
 		slowQuery   = flag.Duration("slow-query", time.Second, "emit an NDJSON profile line for requests at or over this duration (negative = never)")
 		slowLog     = flag.String("slow-query-log", "", "slow-query log file (append; empty = stderr)")
+		blockCache  = flag.Int64("block-cache-bytes", 32<<20, "byte budget of the shared decompressed-block cache (0 = off)")
+		noMmap      = flag.Bool("no-mmap", false, "disable memory-mapped segment reads, forcing the ReadAt path")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -89,7 +91,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sopts := store.Options{}
+	sopts := store.Options{BlockCacheBytes: *blockCache, NoMmap: *noMmap}
 	if *chaos != "" {
 		plan, err := faults.ParseSpec(*chaos)
 		if err != nil {

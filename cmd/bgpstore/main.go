@@ -72,11 +72,12 @@ func usage() {
 	os.Exit(2)
 }
 
-func openStore(dir string, window time.Duration, autoSeal int, chaos string) *store.Store {
+func openStore(dir string, window time.Duration, autoSeal int, chaos string, cacheBytes int64, noMmap bool) *store.Store {
 	if dir == "" {
 		log.Fatal("missing -store")
 	}
-	opts := store.Options{Window: window, AutoSealRecords: autoSeal}
+	opts := store.Options{Window: window, AutoSealRecords: autoSeal,
+		BlockCacheBytes: cacheBytes, NoMmap: noMmap}
 	if chaos != "" {
 		plan, err := faults.ParseSpec(chaos)
 		if err != nil {
@@ -95,6 +96,12 @@ func openStore(dir string, window time.Duration, autoSeal int, chaos string) *st
 // chaosUsage is the shared help text for the per-command -chaos flag.
 const chaosUsage = "inject deterministic store I/O faults, e.g. seed=42,failsync=3,flipreadp=0.01 (see internal/faults)"
 
+// Shared help text for the read-path tuning flags.
+const (
+	cacheUsage  = "byte budget of the shared decompressed-block cache (0 = off)"
+	noMmapUsage = "disable memory-mapped segment reads, forcing the ReadAt path"
+)
+
 func cmdIngest(args []string) {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
 	var (
@@ -103,13 +110,15 @@ func cmdIngest(args []string) {
 		autoSeal    = fs.Int("autoseal", 1<<18, "seal automatically after this many buffered records (0 = at end only)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 		chaos       = fs.String("chaos", "", chaosUsage)
+		cacheBytes  = fs.Int64("block-cache-bytes", 32<<20, cacheUsage)
+		noMmap      = fs.Bool("no-mmap", false, noMmapUsage)
 	)
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		log.Fatal("ingest: no input files")
 	}
 	serveMetrics(*metricsAddr)
-	s := openStore(*dir, *window, *autoSeal, *chaos)
+	s := openStore(*dir, *window, *autoSeal, *chaos, *cacheBytes, *noMmap)
 	w := s.Writer()
 	total := 0
 	for _, path := range fs.Args() {
@@ -154,6 +163,8 @@ func cmdQuery(args []string) {
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 		traceSample = fs.Float64("trace-sample", 0, "trace this query (0 = off, 1 = always); view at -metrics-addr /debug/traces")
 		chaos       = fs.String("chaos", "", chaosUsage)
+		cacheBytes  = fs.Int64("block-cache-bytes", 32<<20, cacheUsage)
+		noMmap      = fs.Bool("no-mmap", false, noMmapUsage)
 	)
 	fs.Parse(args)
 	q, err := store.ParseQuery(*from, *to, *peers, *origins, *prefix, *types)
@@ -168,7 +179,7 @@ func cmdQuery(args []string) {
 		ctx, troot = obs.DefaultTracer().Start(ctx, "bgpstore_query")
 		defer troot.Finish()
 	}
-	s := openStore(*dir, 0, 0, *chaos)
+	s := openStore(*dir, 0, 0, *chaos, *cacheBytes, *noMmap)
 	defer s.Close()
 	r, err := s.QueryParallelCtx(ctx, q, *parallel)
 	if err != nil {
@@ -233,9 +244,11 @@ func cmdCompact(args []string) {
 	dir := fs.String("store", "", "store directory")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 	chaos := fs.String("chaos", "", chaosUsage)
+	noMmap := fs.Bool("no-mmap", false, noMmapUsage)
 	fs.Parse(args)
 	serveMetrics(*metricsAddr)
-	s := openStore(*dir, 0, 0, *chaos)
+	// Compaction streams each input once and bypasses the cache by design.
+	s := openStore(*dir, 0, 0, *chaos, 0, *noMmap)
 	defer s.Close()
 	st, err := s.Compact()
 	if err != nil {
@@ -249,7 +262,7 @@ func cmdStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	dir := fs.String("store", "", "store directory")
 	fs.Parse(args)
-	s := openStore(*dir, 0, 0, "")
+	s := openStore(*dir, 0, 0, "", 0, false)
 	defer s.Close()
 	st := s.Stats()
 	fmt.Printf("segments      %d (%d v1 inline, %d v2 dictionary)\n", st.Segments, st.SegmentsV1, st.SegmentsV2)
@@ -259,4 +272,5 @@ func cmdStats(args []string) {
 	fmt.Printf("disk          %d bytes segments, %d bytes WAL\n", st.DiskBytes, st.WALBytes)
 	fmt.Printf("generation    %d\n", st.Generation)
 	fmt.Printf("fingerprint   %016x\n", st.Fingerprint)
+	fmt.Printf("mmap          %d segments mapped\n", st.MmapSegments)
 }

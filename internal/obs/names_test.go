@@ -59,6 +59,16 @@ func TestMetricNamesPublished(t *testing.T) {
 		// Store EXPLAIN byte accounting.
 		"irtl_store_query_bytes_read_total",
 		"irtl_store_query_bytes_decompressed_total",
+		"irtl_store_query_bytes_from_cache_total",
+		"irtl_store_query_records_materialized_total",
+		// Read path: shared decompressed-block cache and segment mappings.
+		"irtl_store_blockcache_hits_total",
+		"irtl_store_blockcache_misses_total",
+		"irtl_store_blockcache_evictions_total",
+		"irtl_store_blockcache_bytes",
+		"irtl_store_blockcache_entries",
+		"irtl_store_mmap_segments",
+		"irtl_store_mmap_failures_total",
 		// Runtime gauges published by the background collector.
 		"irtl_runtime_goroutines",
 		"irtl_runtime_heap_bytes",

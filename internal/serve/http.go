@@ -325,8 +325,11 @@ type Statz struct {
 	CacheMisses    uint64         `json:"cache_misses"`
 	CacheEvictions uint64         `json:"cache_evictions"`
 	CacheBytes     int64          `json:"cache_bytes"`
-	Quotas         string         `json:"quotas"`
-	RecentQueries  []QueryProfile `json:"recent_queries,omitempty"`
+	// BlockCache is the store's shared decompressed-block cache (distinct
+	// from the aggregate result cache the fields above describe).
+	BlockCache    store.BlockCacheStats `json:"block_cache"`
+	Quotas        string                `json:"quotas"`
+	RecentQueries []QueryProfile        `json:"recent_queries,omitempty"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -341,6 +344,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:    misses,
 		CacheEvictions: evictions,
 		CacheBytes:     bytes,
+		BlockCache:     st.BlockCache,
 		Quotas:         quotasString(s.opts.Quotas, s.opts.DefaultQuota),
 		RecentQueries:  s.profiles.recent(),
 	}

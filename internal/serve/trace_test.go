@@ -84,7 +84,7 @@ func TestTracePropagationBinary(t *testing.T) {
 	if ex.RecordsMatched != len(recs) {
 		t.Fatalf("EXPLAIN records_matched %d, streamed %d", ex.RecordsMatched, len(recs))
 	}
-	if ex.SegmentsTotal == 0 || ex.BlocksScanned == 0 || ex.BytesRead == 0 {
+	if ex.SegmentsTotal == 0 || ex.BlocksScanned == 0 || ex.BytesReadDisk == 0 {
 		t.Fatalf("EXPLAIN not populated: %+v", *ex)
 	}
 	root.Finish()

@@ -56,12 +56,14 @@ func (s *Store) Compact() (CompactStats, error) {
 		kept := s.segs[:0]
 		for _, g := range s.segs {
 			if old[g.seq] {
+				s.dropSegmentLocked(g)
 				s.fs.Remove(g.path)
 				continue
 			}
 			kept = append(kept, g)
 		}
 		s.segs = append(kept, merged)
+		s.mapSegmentLocked(merged)
 		sortSegments(s.segs)
 	}
 	st.SegmentsAfter = len(s.segs)
@@ -89,13 +91,17 @@ func (s *Store) mergeWindowLocked(window int64, gs []*segment) (*segment, error)
 		// Note: no quarantine here. A compaction that hit a corrupt block
 		// and skipped it would rewrite the window without those records,
 		// converting detectable damage into silent loss; the merge fails
-		// instead and leaves the inputs in place.
+		// instead and leaves the inputs in place. The merge also bypasses
+		// the block cache (cache left nil): a full rewrite would evict the
+		// query working set for blocks that are about to be retired anyway.
 		f, err := s.fs.Open(g.path)
 		if err != nil {
 			closeAll()
 			return nil, err
 		}
-		sc := &segStream{seg: g, f: f, blocks: blocks, order: g.seq}
+		g.mm.acquire()
+		sc := &segStream{seg: g, f: f, mm: g.mm, q: &Query{}, bs: getBlockScanner(),
+			blocks: blocks, order: g.seq}
 		if err := sc.advance(); err != nil {
 			sc.close()
 			closeAll()

@@ -22,14 +22,21 @@ type Explain struct {
 	BlocksSelected    int    `json:"blocks_selected"`
 	BlocksPruned      int    `json:"blocks_pruned"`
 	BlocksScanned     int    `json:"blocks_scanned"`
+	BlocksCacheHit    int    `json:"blocks_cache_hit"`
+	BlocksCacheMiss   int    `json:"blocks_cache_miss"`
 	BlocksQuarantined int    `json:"blocks_quarantined,omitempty"`
 	BlocksV1          int    `json:"blocks_v1,omitempty"`
 	BlocksV2          int    `json:"blocks_v2,omitempty"`
 	RecordsScanned    int    `json:"records_scanned"`
-	RecordsMatched    int    `json:"records_matched"`
-	MemRecords        int    `json:"mem_records,omitempty"`
-	BytesRead         int64  `json:"bytes_read"`
-	BytesDecompressed int64  `json:"bytes_decompressed"`
+	// RecordsMaterialized is how many record structs the columnar kernels
+	// actually built; RecordsScanned - RecordsMaterialized rows were filtered
+	// out at the column level without ever becoming records.
+	RecordsMaterialized int   `json:"records_materialized"`
+	RecordsMatched      int   `json:"records_matched"`
+	MemRecords          int   `json:"mem_records,omitempty"`
+	BytesReadDisk       int64 `json:"bytes_read_disk"`
+	BytesDecompressed   int64 `json:"bytes_decompressed"`
+	BytesFromCache      int64 `json:"bytes_from_cache"`
 }
 
 // Explain returns the query's EXPLAIN profile from the accounting gathered
@@ -45,15 +52,19 @@ func (r *Reader) Explain() Explain {
 		BlocksTotal:       st.BlocksTotal,
 		BlocksSelected:    st.BlocksSelected,
 		BlocksPruned:      st.BlocksTotal - st.BlocksSelected,
-		BlocksScanned:     st.BlocksScanned,
-		BlocksQuarantined: st.BlocksQuarantined,
-		BlocksV1:          st.BlocksV1,
-		BlocksV2:          st.BlocksV2,
-		RecordsScanned:    st.RecordsScanned,
-		RecordsMatched:    st.RecordsMatched,
-		MemRecords:        st.MemRecords,
-		BytesRead:         st.BytesRead,
-		BytesDecompressed: st.BytesDecompressed,
+		BlocksScanned:       st.BlocksScanned,
+		BlocksCacheHit:      st.BlocksCacheHit,
+		BlocksCacheMiss:     st.BlocksCacheMiss,
+		BlocksQuarantined:   st.BlocksQuarantined,
+		BlocksV1:            st.BlocksV1,
+		BlocksV2:            st.BlocksV2,
+		RecordsScanned:      st.RecordsScanned,
+		RecordsMaterialized: st.RecordsMaterialized,
+		RecordsMatched:      st.RecordsMatched,
+		MemRecords:          st.MemRecords,
+		BytesReadDisk:       st.BytesReadDisk,
+		BytesDecompressed:   st.BytesDecompressed,
+		BytesFromCache:      st.BytesFromCache,
 	}
 }
 
@@ -66,9 +77,11 @@ func (e Explain) String() string {
 	fmt.Fprintf(&sb, "blocks:   %d total, %d pruned, %d selected, %d scanned (%d v1, %d v2, %d quarantined)\n",
 		e.BlocksTotal, e.BlocksPruned, e.BlocksSelected, e.BlocksScanned,
 		e.BlocksV1, e.BlocksV2, e.BlocksQuarantined)
-	fmt.Fprintf(&sb, "records:  %d scanned + %d memtable, %d matched\n",
-		e.RecordsScanned, e.MemRecords, e.RecordsMatched)
-	fmt.Fprintf(&sb, "bytes:    %d read, %d decompressed", e.BytesRead, e.BytesDecompressed)
+	fmt.Fprintf(&sb, "cache:    %d hit, %d miss\n", e.BlocksCacheHit, e.BlocksCacheMiss)
+	fmt.Fprintf(&sb, "records:  %d scanned + %d memtable, %d materialized, %d matched\n",
+		e.RecordsScanned, e.MemRecords, e.RecordsMaterialized, e.RecordsMatched)
+	fmt.Fprintf(&sb, "bytes:    %d disk, %d decompressed, %d from cache",
+		e.BytesReadDisk, e.BytesDecompressed, e.BytesFromCache)
 	return sb.String()
 }
 
@@ -85,12 +98,16 @@ func (e Explain) annotate(sp *obs.TraceSpan) {
 	sp.AnnotateInt("blocks_total", int64(e.BlocksTotal))
 	sp.AnnotateInt("blocks_pruned", int64(e.BlocksPruned))
 	sp.AnnotateInt("blocks_scanned", int64(e.BlocksScanned))
+	sp.AnnotateInt("blocks_cache_hit", int64(e.BlocksCacheHit))
+	sp.AnnotateInt("blocks_cache_miss", int64(e.BlocksCacheMiss))
 	sp.AnnotateInt("blocks_quarantined", int64(e.BlocksQuarantined))
 	sp.AnnotateInt("blocks_v1", int64(e.BlocksV1))
 	sp.AnnotateInt("blocks_v2", int64(e.BlocksV2))
 	sp.AnnotateInt("records_scanned", int64(e.RecordsScanned))
+	sp.AnnotateInt("records_materialized", int64(e.RecordsMaterialized))
 	sp.AnnotateInt("records_matched", int64(e.RecordsMatched))
 	sp.AnnotateInt("mem_records", int64(e.MemRecords))
-	sp.AnnotateInt("bytes_read", e.BytesRead)
+	sp.AnnotateInt("bytes_read_disk", e.BytesReadDisk)
 	sp.AnnotateInt("bytes_decompressed", e.BytesDecompressed)
+	sp.AnnotateInt("bytes_from_cache", e.BytesFromCache)
 }

@@ -329,7 +329,19 @@ func TestCompactRefusesCorruptBlock(t *testing.T) {
 // hits EOF) surfaces as a partial-scan error from Next, repeats on every
 // later Next, and still lets the reader close cleanly.
 func TestPartialScanErrorSticky(t *testing.T) {
-	s := buildFaultStore(t, t.TempDir(), 200)
+	dir := t.TempDir()
+	if err := buildFaultStore(t, dir, 200).Close(); err != nil {
+		t.Fatal(err)
+	}
+	// This test is about the ReadAt failure mode, so mapping must be off: a
+	// memory-mapped segment keeps serving the pages captured at map time and
+	// never notices the truncation below.
+	opts := faultOptions()
+	opts.NoMmap = true
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	g := s.segs[0]
 	// Cut the file mid-way through the block region: early blocks read fine,

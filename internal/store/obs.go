@@ -53,9 +53,29 @@ var (
 	obsQueryRecordsMatched = obs.Default().Counter("irtl_store_query_records_matched_total",
 		"Records that satisfied the full query predicate.")
 	obsQueryBytesRead = obs.Default().Counter("irtl_store_query_bytes_read_total",
-		"Compressed segment bytes read by queries.")
+		"Compressed segment bytes read from disk or mappings by queries.")
 	obsQueryBytesDecompressed = obs.Default().Counter("irtl_store_query_bytes_decompressed_total",
 		"Decompressed bytes produced by query block scans.")
+	obsQueryBytesFromCache = obs.Default().Counter("irtl_store_query_bytes_from_cache_total",
+		"Decompressed bytes served to queries from the shared block cache.")
+	obsQueryRecordsMaterialized = obs.Default().Counter("irtl_store_query_records_materialized_total",
+		"Record structs materialized by columnar block scans (rows surviving the column filters).")
+
+	obsBlockCacheHits = obs.Default().Counter("irtl_store_blockcache_hits_total",
+		"Block cache lookups served from a resident or in-flight entry.")
+	obsBlockCacheMisses = obs.Default().Counter("irtl_store_blockcache_misses_total",
+		"Block cache lookups that had to load from disk.")
+	obsBlockCacheEvictions = obs.Default().Counter("irtl_store_blockcache_evictions_total",
+		"Decoded blocks evicted from the cache under byte pressure.")
+	obsBlockCacheBytes = obs.Default().Gauge("irtl_store_blockcache_bytes",
+		"Decoded bytes resident in the shared block cache.")
+	obsBlockCacheEntries = obs.Default().Gauge("irtl_store_blockcache_entries",
+		"Decoded blocks resident in the shared block cache.")
+
+	obsMmapSegments = obs.Default().Gauge("irtl_store_mmap_segments",
+		"Sealed segments currently served through a memory mapping.")
+	obsMmapFailures = obs.Default().Counter("irtl_store_mmap_failures_total",
+		"Segment mapping attempts that fell back to the ReadAt path.")
 
 	obsQuarantinedBlocks = obs.Default().Counter("irtl_store_quarantined_blocks",
 		"Corrupt segment blocks skipped (quarantined) by queries instead of failing the scan.")
@@ -76,7 +96,9 @@ func publishScanStats(st ScanStats) {
 	obsQueryBlocks.Add(int64(st.BlocksTotal))
 	obsQueryBlocksScanned.Add(int64(st.BlocksScanned))
 	obsQueryRecordsScanned.Add(int64(st.RecordsScanned + st.MemRecords))
+	obsQueryRecordsMaterialized.Add(int64(st.RecordsMaterialized))
 	obsQueryRecordsMatched.Add(int64(st.RecordsMatched))
-	obsQueryBytesRead.Add(st.BytesRead)
+	obsQueryBytesRead.Add(st.BytesReadDisk)
 	obsQueryBytesDecompressed.Add(st.BytesDecompressed)
+	obsQueryBytesFromCache.Add(st.BytesFromCache)
 }

@@ -17,19 +17,26 @@ import (
 // pushdown measurable: a filtered query over a multi-segment store should
 // show BlocksScanned (decompressed) well below BlocksTotal.
 type ScanStats struct {
-	SegmentsTotal     int   // sealed segments in the store at query time
-	SegmentsScanned   int   // segments not skipped by segment-level pruning
-	BlocksTotal       int   // blocks across all segments
-	BlocksSelected    int   // blocks the per-block index selected as candidates
-	BlocksScanned     int   // blocks actually decompressed
-	BlocksQuarantined int   // corrupt blocks skipped instead of failing the scan
-	BlocksV1          int   // scanned blocks in v1 (inline-attr) format
-	BlocksV2          int   // scanned blocks in v2 (dictionary) format
-	RecordsScanned    int   // records decoded from those blocks
-	RecordsMatched    int   // records that satisfied the full predicate
-	MemRecords        int   // unsealed records considered from the memtable
-	BytesRead         int64 // compressed bytes read from segment files
-	BytesDecompressed int64 // bytes after decompression
+	SegmentsTotal     int // sealed segments in the store at query time
+	SegmentsScanned   int // segments not skipped by segment-level pruning
+	BlocksTotal       int // blocks across all segments
+	BlocksSelected    int // blocks the per-block index selected as candidates
+	BlocksScanned     int // blocks actually scanned (from disk or cache)
+	BlocksCacheHit    int // scanned blocks served from the shared block cache
+	BlocksCacheMiss   int // scanned blocks the cache had to load from disk
+	BlocksQuarantined int // corrupt blocks skipped instead of failing the scan
+	BlocksV1          int // scanned blocks in v1 (inline-attr) format
+	BlocksV2          int // scanned blocks in v2 (dictionary) format
+	RecordsScanned    int // records the scanned blocks hold
+	// RecordsMaterialized counts record structs actually constructed by the
+	// columnar kernels — rows that survived the column filters. The gap to
+	// RecordsScanned is work the columnar scan skipped.
+	RecordsMaterialized int
+	RecordsMatched      int   // records that satisfied the full predicate
+	MemRecords          int   // unsealed records considered from the memtable
+	BytesReadDisk       int64 // compressed bytes read from files or mappings
+	BytesDecompressed   int64 // bytes actually inflated by this query
+	BytesFromCache      int64 // decompressed bytes served from the block cache
 }
 
 // Reader streams the result of a Query in timestamp order. It implements
@@ -85,7 +92,9 @@ func (s *Store) QueryCtx(ctx context.Context, q Query) (*Reader, error) {
 			r.Close()
 			return nil, err
 		}
-		sc := &segStream{r: r, seg: g, f: f, blocks: blocks, order: g.seq, quarantine: true,
+		g.mm.acquire()
+		sc := &segStream{seg: g, f: f, mm: g.mm, q: &r.q, cache: s.cache,
+			bs: getBlockScanner(), blocks: blocks, order: g.seq, quarantine: true,
 			span: segmentSpan(span, g, len(blocks))}
 		if err := sc.advance(); err != nil {
 			r.retire(sc)
@@ -254,24 +263,40 @@ func (g *segment) candidateBlocks(q Query) (blocks []int, scan bool) {
 }
 
 // scanDelta is incremental scan accounting drained from a stream into
-// Reader.stats: records/blocks scanned, quarantined blocks, raw and
+// Reader.stats: records/blocks scanned, quarantined blocks, disk/cache/
 // decompressed bytes, and the format-version split of the scanned blocks.
 type scanDelta struct {
-	scanned     int
-	blocks      int
-	quarantined int
-	bytesRead   int64
-	bytesOut    int64
-	v1, v2      int
+	scanned      int
+	materialized int
+	blocks       int
+	hits, misses int
+	quarantined  int
+	bytesDisk    int64
+	bytesOut     int64
+	bytesCache   int64
+	v1, v2       int
 }
 
-// noteBlock accumulates one successfully scanned block.
-func (d *scanDelta) noteBlock(g *segment, bi, recs int) {
+// noteBlock accumulates one successfully scanned block. hit reports whether
+// the decoded block came out of the shared cache (no disk read, no inflate);
+// cached whether a cache was in play at all, so hit/miss counters stay zero
+// on cache-off scans. n is the number of records the block's columnar filter
+// materialized.
+func (d *scanDelta) noteBlock(g *segment, bi int, hit, cached bool, n int) {
 	bm := g.index.blocks[bi]
 	d.blocks++
-	d.scanned += recs
-	d.bytesRead += int64(bm.clen)
-	d.bytesOut += int64(bm.ulen)
+	d.scanned += int(bm.count)
+	d.materialized += n
+	if hit {
+		d.hits++
+		d.bytesCache += int64(bm.ulen)
+	} else {
+		if cached {
+			d.misses++
+		}
+		d.bytesDisk += int64(bm.clen)
+		d.bytesOut += int64(bm.ulen)
+	}
 	if g.ver >= segVersionV2 {
 		d.v2++
 	} else {
@@ -282,10 +307,14 @@ func (d *scanDelta) noteBlock(g *segment, bi, recs int) {
 // fold adds a drained delta into the query's ScanStats.
 func (st *ScanStats) fold(d scanDelta) {
 	st.RecordsScanned += d.scanned
+	st.RecordsMaterialized += d.materialized
 	st.BlocksScanned += d.blocks
+	st.BlocksCacheHit += d.hits
+	st.BlocksCacheMiss += d.misses
 	st.BlocksQuarantined += d.quarantined
-	st.BytesRead += d.bytesRead
+	st.BytesReadDisk += d.bytesDisk
 	st.BytesDecompressed += d.bytesOut
+	st.BytesFromCache += d.bytesCache
 	st.BlocksV1 += d.v1
 	st.BlocksV2 += d.v2
 }
@@ -324,11 +353,17 @@ func quarantineBlock(path string, bi int, err error) {
 	log.Printf("store: quarantined corrupt block %d of %s: %v", bi, path, err)
 }
 
-// segStream iterates the candidate blocks of one segment.
+// segStream iterates the candidate blocks of one segment: each block is
+// fetched in columnar form (through the shared cache when the store has one),
+// filtered column-wise, and only the surviving rows are materialized into the
+// stream's record buffer.
 type segStream struct {
-	r      *Reader
 	seg    *segment
 	f      faults.File
+	mm     *segMap     // acquired mapping reference, nil on the ReadAt path
+	q      *Query      // predicates the columnar kernels filter by
+	cache  *blockCache // shared block cache, nil when disabled
+	bs     *blockScanner
 	blocks []int
 	bi     int
 	recs   []collector.Record
@@ -361,9 +396,9 @@ func (sc *segStream) advance() error {
 			return nil
 		}
 		// sc.recs is fully consumed here (ri == len), so its backing array
-		// is handed back for reuse — one record buffer per stream, total.
+		// is reused for the next block — one record buffer per stream, total.
 		bi := sc.blocks[sc.bi]
-		recs, err := sc.seg.readBlock(sc.f, bi, sc.recs)
+		cb, hit, err := sc.bs.fetch(sc.seg, sc.f, sc.mm, sc.cache, bi)
 		if err != nil {
 			if sc.quarantine && isCorrupt(err) {
 				quarantineBlock(sc.seg.path, bi, err)
@@ -376,8 +411,9 @@ func (sc *segStream) advance() error {
 			return fmt.Errorf("segment %s: %w", sc.seg.path, err)
 		}
 		sc.bi++
-		sc.acc.noteBlock(sc.seg, bi, len(recs))
-		sc.recs, sc.ri = recs, 0
+		sc.recs = cb.appendMatching(sc.q, &sc.bs.sel, sc.recs[:0])
+		sc.ri = 0
+		sc.acc.noteBlock(sc.seg, bi, hit, sc.cache != nil, len(sc.recs))
 	}
 }
 
@@ -392,6 +428,12 @@ func (sc *segStream) drain() scanDelta {
 func (sc *segStream) close() {
 	sc.span.Finish()
 	sc.span = nil
+	if sc.bs != nil {
+		putBlockScanner(sc.bs)
+		sc.bs = nil
+	}
+	sc.mm.release()
+	sc.mm = nil
 	if sc.f != nil {
 		sc.f.Close()
 		sc.f = nil

@@ -35,12 +35,20 @@ const scanLookahead = 2
 type blockTask struct {
 	seg *segment
 	f   io.ReaderAt
-	bi  int
-	out chan<- blockResult // cap 1: workers never block on delivery
+	// mm is the mapping reference the submitting stream holds; the stream
+	// outlives every task it submitted (close drains them), so a worker
+	// never touches mapped pages after their release. Workers must use this,
+	// never seg.mm — the latter is store-lock state compaction mutates.
+	mm    *segMap
+	q     *Query
+	cache *blockCache
+	bi    int
+	out   chan<- blockResult // cap 1: workers never block on delivery
 }
 
 type blockResult struct {
-	recs []collector.Record
+	recs []collector.Record // pooled buffer; nil-length results still own it
+	hit  bool               // block came from the shared cache
 	err  error
 }
 
@@ -80,19 +88,19 @@ func newScanPool(workers, queue int) *scanPool {
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
-			br := blockReaderPool.Get().(*blockReader)
-			defer blockReaderPool.Put(br)
+			bs := getBlockScanner()
+			defer putBlockScanner(bs)
 			for t := range p.tasks {
-				buf := getRecBuf()
-				recs, err := t.seg.readBlockWith(br, t.f, t.bi, buf)
+				cb, hit, err := bs.fetch(t.seg, t.f, t.mm, t.cache, t.bi)
 				if err != nil {
-					// readBlockWith returns nil recs on failure; hand the
-					// pooled buffer back here or it leaks on every corrupt
-					// or unreadable block.
-					putRecBuf(buf)
-					recs = nil
+					t.out <- blockResult{err: err}
+					continue
 				}
-				t.out <- blockResult{recs: recs, err: err}
+				// The pooled buffer is taken only on success and travels with
+				// the result; the consumer (or the stream's close) returns it.
+				buf := getRecBuf()
+				recs := cb.appendMatching(t.q, &bs.sel, buf[:0])
+				t.out <- blockResult{recs: recs, hit: hit}
 			}
 		}()
 	}
@@ -177,7 +185,9 @@ func (s *Store) QueryParallelCtx(ctx context.Context, q Query, workers int) (*Re
 				r.Close()
 				return nil, err
 			}
-			sc := &parSegStream{seg: c.seg, f: f, pool: r.pool, blocks: c.blocks, order: c.seg.seq,
+			c.seg.mm.acquire()
+			sc := &parSegStream{seg: c.seg, f: f, mm: c.seg.mm, q: &r.q, cache: s.cache,
+				pool: r.pool, blocks: c.blocks, order: c.seg.seq,
 				span: segmentSpan(span, c.seg, len(c.blocks))}
 			sc.fill()
 			if err := sc.advance(); err != nil {
@@ -201,7 +211,9 @@ func (s *Store) QueryParallelCtx(ctx context.Context, q Query, workers int) (*Re
 				r.Close()
 				return nil, err
 			}
-			sc := &segStream{r: r, seg: c.seg, f: f, blocks: c.blocks, order: c.seg.seq, quarantine: true,
+			c.seg.mm.acquire()
+			sc := &segStream{seg: c.seg, f: f, mm: c.seg.mm, q: &r.q, cache: s.cache,
+				bs: getBlockScanner(), blocks: c.blocks, order: c.seg.seq, quarantine: true,
 				span: segmentSpan(span, c.seg, len(c.blocks))}
 			if err := sc.advance(); err != nil {
 				r.retire(sc)
@@ -232,6 +244,9 @@ func (s *Store) QueryParallelCtx(ctx context.Context, q Query, workers int) (*Re
 type parSegStream struct {
 	seg       *segment
 	f         faults.File
+	mm        *segMap     // acquired mapping reference, handed to every task
+	q         *Query
+	cache     *blockCache // nil when the store runs cache-off
 	pool      *scanPool
 	blocks    []int
 	nextSub   int                // next index into blocks to submit
@@ -252,7 +267,8 @@ type parSegStream struct {
 func (sc *parSegStream) fill() {
 	for len(sc.pending) <= scanLookahead && sc.nextSub < len(sc.blocks) {
 		out := make(chan blockResult, 1)
-		sc.pool.submit(blockTask{seg: sc.seg, f: sc.f, bi: sc.blocks[sc.nextSub], out: out})
+		sc.pool.submit(blockTask{seg: sc.seg, f: sc.f, mm: sc.mm, q: sc.q, cache: sc.cache,
+			bi: sc.blocks[sc.nextSub], out: out})
 		sc.pending = append(sc.pending, out)
 		sc.pendingBi = append(sc.pendingBi, sc.blocks[sc.nextSub])
 		sc.nextSub++
@@ -290,7 +306,7 @@ func (sc *parSegStream) advance() error {
 			sc.ok = false
 			return fmt.Errorf("segment %s: %w", sc.seg.path, res.err)
 		}
-		sc.acc.noteBlock(sc.seg, bi, len(res.recs))
+		sc.acc.noteBlock(sc.seg, bi, res.hit, sc.cache != nil, len(res.recs))
 		// The previous block's records are all consumed (copied out by
 		// value), so its buffer goes back to the workers.
 		if sc.pooled {
@@ -320,7 +336,9 @@ func (sc *parSegStream) close() {
 	sc.span = nil
 	for _, ch := range sc.pending {
 		res := <-ch
-		if res.recs != nil {
+		// Successful results own a pooled buffer even when zero rows matched
+		// the columnar filter; only error results travel bufferless.
+		if res.err == nil {
 			putRecBuf(res.recs)
 		}
 	}
@@ -329,6 +347,8 @@ func (sc *parSegStream) close() {
 		putRecBuf(sc.recs)
 		sc.recs, sc.pooled = nil, false
 	}
+	sc.mm.release()
+	sc.mm = nil
 	if sc.f != nil {
 		sc.f.Close()
 		sc.f = nil

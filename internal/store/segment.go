@@ -5,12 +5,11 @@ import (
 	"compress/flate"
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"path/filepath"
-	"sync"
-	"time"
+	"sync/atomic"
 
-	"instability/internal/bgp"
 	"instability/internal/collector"
 	"instability/internal/faults"
 )
@@ -34,15 +33,24 @@ const (
 )
 
 // segment is an open handle on one sealed immutable segment: its footer and
-// index stay in memory, record blocks stay on disk until a query needs them.
+// index stay in memory, record blocks stay on disk (or in the shared page
+// cache, when mapped) until a query needs them.
 type segment struct {
 	path string
 	seq  uint64 // segment file number
 	size int64
 	ver  byte // block format version (segVersionV1 or segVersionV2)
+	// fp is the segment's content fingerprint (seq, window, sequence range,
+	// count): the cache key half that identifies this segment's blocks.
+	fp uint64
 	// di, when set by the owning store, canonicalizes dictionary entries at
 	// decode time so repeated scans share attribute storage.
 	di *decodeInterner
+	// mm is the segment's memory mapping, nil when unmapped (mmap disabled,
+	// unsupported, failed, or the store reads through a fault injector).
+	// Accessed only under the store lock; readers take a reference at query
+	// setup and carry their own *segMap pointer.
+	mm *segMap
 
 	windowStart int64 // time partition this segment belongs to (unixnano)
 	minTime     int64 // first record timestamp
@@ -236,7 +244,7 @@ func writeSegment(fsys faults.FS, dir string, seq uint64, windowStart int64, fir
 		fsys.Remove(tmp)
 		return nil, err
 	}
-	return &segment{
+	g := &segment{
 		path:        path,
 		seq:         seq,
 		size:        int64(buf.Len()),
@@ -249,7 +257,9 @@ func writeSegment(fsys faults.FS, dir string, seq uint64, windowStart int64, fir
 		count:       int64(len(recs)),
 		replaces:    replaces,
 		index:       ix,
-	}, nil
+	}
+	g.fp = g.fingerprint()
+	return g, nil
 }
 
 // openSegment reads a segment's footer and index into memory.
@@ -322,56 +332,126 @@ func openSegment(fsys faults.FS, path string) (*segment, error) {
 		return nil, fmt.Errorf("%w: segment name %q", ErrCorrupt, filepath.Base(path))
 	}
 	g.seq = seq
+	g.fp = g.fingerprint()
 	return g, nil
 }
 
+// fingerprint hashes the segment's identity — file number, window, sequence
+// range, record count — with the same scheme the store-level fingerprint
+// folds per segment, so one segment's cache keys are stable for its
+// immutable lifetime and distinct from every other segment's.
+func (g *segment) fingerprint() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	word := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	word(g.seq)
+	word(uint64(g.windowStart))
+	word(g.firstSeq)
+	word(g.lastSeq)
+	word(uint64(g.count))
+	return h.Sum64()
+}
+
+// segMap is a reference-counted read-only memory mapping of one sealed
+// segment file. The store holds one reference for as long as the segment is
+// live; every stream scanning through the mapping holds another for its own
+// lifetime. Compaction can therefore retire a segment (and the store can
+// close) while scans are mid-flight: the pages are unmapped only when the
+// last reference drops, never under a reader.
+type segMap struct {
+	data []byte
+	refs atomic.Int64
+}
+
+func newSegMap(data []byte) *segMap {
+	m := &segMap{data: data}
+	m.refs.Store(1)
+	return m
+}
+
+// acquire takes a reference. Callers hold the store lock and the segment is
+// live there, so the store's own reference pins the count above zero.
+func (m *segMap) acquire() {
+	if m != nil {
+		m.refs.Add(1)
+	}
+}
+
+// release drops one reference, unmapping on the last. Nil-safe.
+func (m *segMap) release() {
+	if m == nil {
+		return
+	}
+	if m.refs.Add(-1) == 0 {
+		munmap(m.data)
+		m.data = nil
+	}
+}
+
 // blockReader is the reusable scratch state for decompressing one segment
-// block: the compressed-bytes buffer, a resettable source reader, the
-// inflate output buffer, and the flate reader itself. Decoded records never
-// alias these buffers (record decoding copies paths and communities out), so
-// a blockReader can be recycled the moment readBlockWith returns.
+// block: the compressed-bytes buffer (ReadAt path only), a resettable source
+// reader, the inflate output buffer, and the flate reader itself. Columnar
+// decoding copies everything out of these buffers, so a blockReader is free
+// for reuse the moment the block it inflated has been decoded.
 type blockReader struct {
-	cb   []byte
-	src  bytes.Reader
-	raw  bytes.Buffer
-	fr   io.ReadCloser // always implements flate.Resetter
-	dict []bgp.Attrs   // v2 per-block attribute dictionary scratch
+	cb  []byte
+	src bytes.Reader
+	raw bytes.Buffer
+	fr  io.ReadCloser // always implements flate.Resetter
 }
 
-var blockReaderPool = sync.Pool{New: func() any { return new(blockReader) }}
+// maxRetainedBlockBytes caps the buffer capacity a pooled blockReader may
+// keep between uses. One pathological block (a huge time window sealed into
+// a single block) would otherwise pin a buffer of its size in every pool
+// entry it passed through for the life of the process.
+const maxRetainedBlockBytes = 1 << 20
 
-// readBlock decompresses and decodes block bi of the segment from f,
-// appending records onto dst[:0]. A caller that has fully consumed the
-// previous result may pass it back as dst to reuse its backing array (the
-// serial scan does, so a stream allocates one record buffer total); callers
-// whose results outlive the next call must pass nil.
-func (g *segment) readBlock(f io.ReaderAt, bi int, dst []collector.Record) ([]collector.Record, error) {
-	br := blockReaderPool.Get().(*blockReader)
-	defer blockReaderPool.Put(br)
-	return g.readBlockWith(br, f, bi, dst)
+// trimBlockReader drops oversized scratch buffers before br is pooled.
+func trimBlockReader(br *blockReader) {
+	if cap(br.cb) > maxRetainedBlockBytes {
+		br.cb = nil
+	}
+	if br.raw.Cap() > maxRetainedBlockBytes {
+		br.raw = bytes.Buffer{}
+	}
 }
 
-// readBlockWith is readBlock against caller-owned scratch state; the
-// parallel scan workers each hold one blockReader for their whole lifetime.
-// f must support concurrent ReadAt (os.File does).
-func (g *segment) readBlockWith(br *blockReader, f io.ReaderAt, bi int, dst []collector.Record) (_ []collector.Record, err error) {
-	// A failed read or decode can leave the flate reader mid-stream and the
-	// dictionary half-built; poison both so a recycled blockReader never
-	// leaks one block's state into the next (the next use rebuilds from
-	// scratch instead of trusting Reset on a wedged reader).
+// inflateBlock decompresses block bi and returns the raw block bytes, valid
+// until br's next use. The compressed source is a zero-copy slice of the
+// segment mapping when the caller holds one (mm non-nil); otherwise the
+// bytes are read through f into br's buffer. f must support concurrent
+// ReadAt (os.File does).
+func (g *segment) inflateBlock(br *blockReader, f io.ReaderAt, mm *segMap, bi int) (_ []byte, err error) {
+	// A failed read or inflate can leave the flate reader mid-stream; poison
+	// it so a recycled blockReader never leaks one block's state into the
+	// next (the next use rebuilds instead of trusting Reset on a wedged
+	// reader).
 	defer func() {
 		if err != nil {
 			br.fr = nil
-			br.dict = br.dict[:0]
 		}
 	}()
 	bm := g.index.blocks[bi]
-	if cap(br.cb) < int(bm.clen) {
-		br.cb = make([]byte, bm.clen)
-	}
-	cb := br.cb[:bm.clen]
-	if _, err := f.ReadAt(cb, bm.offset); err != nil {
-		return nil, err
+	var cb []byte
+	if mm != nil {
+		end := bm.offset + int64(bm.clen)
+		if bm.offset < 0 || end > int64(len(mm.data)) {
+			return nil, fmt.Errorf("%w: block %d bounds", ErrCorrupt, bi)
+		}
+		cb = mm.data[bm.offset:end]
+	} else {
+		if cap(br.cb) < int(bm.clen) {
+			br.cb = make([]byte, bm.clen)
+		}
+		cb = br.cb[:bm.clen]
+		if _, err := f.ReadAt(cb, bm.offset); err != nil {
+			return nil, err
+		}
 	}
 	br.src.Reset(cb)
 	if br.fr == nil {
@@ -389,67 +469,5 @@ func (g *segment) readBlockWith(br *blockReader, f io.ReaderAt, bi int, dst []co
 	if err := br.fr.Close(); err != nil {
 		return nil, fmt.Errorf("%w: block %d: %v", ErrCorrupt, bi, err)
 	}
-	b := br.raw.Bytes()
-
-	// v2 blocks open with the attribute dictionary; decode (and, when the
-	// owning store provides an interner, canonicalize) each entry once so
-	// every record referencing it shares one Attrs value.
-	v2 := g.ver >= segVersionV2
-	if v2 {
-		dictN, n := binary.Uvarint(b)
-		if n <= 0 || dictN > uint64(len(b)) {
-			return nil, fmt.Errorf("%w: block %d dictionary count", ErrCorrupt, bi)
-		}
-		b = b[n:]
-		br.dict = br.dict[:0]
-		for j := uint64(0); j < dictN; j++ {
-			alen, n := binary.Uvarint(b)
-			if n <= 0 || alen > uint64(len(b)-n) {
-				return nil, fmt.Errorf("%w: block %d dictionary entry %d", ErrCorrupt, bi, j)
-			}
-			b = b[n:]
-			var a bgp.Attrs
-			var err error
-			if g.di != nil {
-				a, err = g.di.internWire(b[:alen])
-			} else {
-				a, err = bgp.UnmarshalAttrs(b[:alen])
-			}
-			if err != nil {
-				return nil, fmt.Errorf("%w: block %d dictionary entry %d: %v", ErrCorrupt, bi, j, err)
-			}
-			b = b[alen:]
-			br.dict = append(br.dict, a)
-		}
-	}
-
-	recs := dst[:0]
-	if cap(recs) < int(bm.count) {
-		recs = make([]collector.Record, 0, bm.count)
-	}
-	prev := bm.minTime
-	for i := int32(0); i < bm.count; i++ {
-		dt, n := binary.Uvarint(b)
-		if n <= 0 {
-			return nil, fmt.Errorf("%w: block %d record %d time", ErrCorrupt, bi, i)
-		}
-		b = b[n:]
-		prev += int64(dt)
-		var rec collector.Record
-		rec.Time = time.Unix(0, prev).UTC()
-		var err error
-		if v2 {
-			b, err = decodeRecordTailV2(b, &rec, br.dict)
-		} else {
-			b, err = decodeRecordTail(b, &rec)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("%w: block %d record %d: %v", ErrCorrupt, bi, i, err)
-		}
-		recs = append(recs, rec)
-	}
-	if len(b) != 0 {
-		return nil, fmt.Errorf("%w: block %d trailing bytes", ErrCorrupt, bi)
-	}
-	return recs, nil
+	return br.raw.Bytes(), nil
 }

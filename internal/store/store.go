@@ -81,6 +81,16 @@ type Options struct {
 	// BloomBitsPerKey sizes the per-segment prefix bloom filter. Default 10
 	// (~1% false positives).
 	BloomBitsPerKey int
+	// BlockCacheBytes is the byte budget of the store-wide cache of
+	// decompressed, columnar-decoded segment blocks, shared by every reader
+	// of this store. 0 (the zero value) disables the cache: each scan
+	// inflates and decodes its own blocks, as before the cache existed.
+	BlockCacheBytes int64
+	// NoMmap disables memory-mapped segment reads, forcing the ReadAt
+	// fallback path everywhere. Mapping is also skipped automatically when
+	// the store reads through an injected filesystem (Options.FS not the
+	// real disk) or the platform has no mmap support.
+	NoMmap bool
 	// FS is the filesystem the store performs all I/O through. Nil means
 	// the real disk; tests and chaos runs install a faults.Injector to
 	// exercise write errors, torn writes, fsync failures, crashes, and
@@ -141,8 +151,20 @@ type Store struct {
 	enc *attrEncoder
 	dec *decodeInterner
 
+	// cache is the shared decompressed-block cache, nil when disabled.
+	cache *blockCache
+	// mmapOK records whether sealed segments may be memory-mapped: mmap is
+	// on by default on supported platforms, but only against the real disk —
+	// an injected filesystem must keep seeing every read.
+	mmapOK bool
+	mapped int // segments currently mapped (guarded by mu)
+
 	writer Writer
 }
+
+// mmapSegment is the mapping entry point, indirect so tests can force the
+// failure path and assert the ReadAt fallback serves identical results.
+var mmapSegment = mmapOpen
 
 // memWindow is the unsealed tail of one time window.
 type memWindow struct {
@@ -167,6 +189,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		dec:  newDecodeInterner(),
 	}
 	s.writer = Writer{s: s}
+	if opts.BlockCacheBytes > 0 {
+		s.cache = newBlockCache(opts.BlockCacheBytes)
+	}
+	_, onDisk := fsys.(faults.Disk)
+	s.mmapOK = onDisk && !opts.NoMmap
 
 	entries, err := fsys.ReadDir(dir)
 	if err != nil {
@@ -194,6 +221,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		if g.seq >= s.nextSeg {
 			s.nextSeg = g.seq + 1
 		}
+		s.mapSegmentLocked(g)
 	}
 
 	// Replay the WAL: entries already covered by a sealed segment of their
@@ -273,6 +301,46 @@ func (s *Store) dropReplaced() {
 	s.segs = kept
 }
 
+// mapSegmentLocked memory-maps one sealed segment when mapping is enabled.
+// Mapping is strictly an optimization: on any failure the segment simply
+// stays on the ReadAt path, and the failure is counted, not surfaced.
+func (s *Store) mapSegmentLocked(g *segment) {
+	if !s.mmapOK || g.mm != nil {
+		return
+	}
+	data, err := mmapSegment(g.path, g.size)
+	if err != nil {
+		obsMmapFailures.Inc()
+		return
+	}
+	g.mm = newSegMap(data)
+	s.mapped++
+	obsMmapSegments.SetInt(int64(s.mapped))
+}
+
+// unmapSegmentLocked releases the store's reference on a segment's mapping.
+// Readers that acquired the mapping before this keep it alive until they
+// drain; the pages are returned when the last reference drops.
+func (s *Store) unmapSegmentLocked(g *segment) {
+	if g.mm == nil {
+		return
+	}
+	g.mm.release()
+	g.mm = nil
+	s.mapped--
+	obsMmapSegments.SetInt(int64(s.mapped))
+}
+
+// dropSegmentLocked retires one replaced segment from the read path: its
+// mapping reference is released and its cached blocks are dropped, so the
+// cache budget is never spent on blocks no query can reach again.
+func (s *Store) dropSegmentLocked(g *segment) {
+	s.unmapSegmentLocked(g)
+	if s.cache != nil {
+		s.cache.dropSegment(g.fp)
+	}
+}
+
 func sortSegments(segs []*segment) {
 	sort.Slice(segs, func(i, j int) bool {
 		if segs[i].windowStart != segs[j].windowStart {
@@ -312,6 +380,9 @@ type Stats struct {
 	WALBytes    int64  // current WAL size
 	Generation  uint64 // segment-set generation counter (see Store.Generation)
 	Fingerprint uint64 // content hash of the sealed segment set
+
+	MmapSegments int             // segments currently served from a memory mapping
+	BlockCache   BlockCacheStats // shared decompressed-block cache
 }
 
 // Stats reports store-level statistics.
@@ -342,6 +413,8 @@ func (s *Store) Stats() Stats {
 	st.WALBytes = s.wal.size()
 	st.Generation = s.gen.Load()
 	st.Fingerprint = s.fingerprintLocked()
+	st.MmapSegments = s.mapped
+	st.BlockCache = s.cache.stats()
 	return st
 }
 
@@ -379,6 +452,9 @@ func (s *Store) Close() error {
 	err := s.sealLocked()
 	if cerr := s.wal.close(); err == nil {
 		err = cerr
+	}
+	for _, g := range s.segs {
+		s.unmapSegmentLocked(g)
 	}
 	s.closed = true
 	return err

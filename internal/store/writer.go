@@ -203,6 +203,7 @@ func (s *Store) sealLocked() error {
 		seg.di = s.dec
 		s.nextSeg++
 		s.segs = append(s.segs, seg)
+		s.mapSegmentLocked(seg)
 		s.memN -= len(mw.recs)
 		delete(s.mem, wd)
 	}
