@@ -29,6 +29,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -55,6 +56,7 @@ func main() {
 		id          = flag.String("id", "198.32.186.250", "local BGP identifier")
 		out         = flag.String("out", "collected.irtl.gz", "output log file")
 		storeDir    = flag.String("store", "", "also write through to an irtlstore at this directory")
+		sealWorkers = flag.Int("seal-workers", runtime.GOMAXPROCS(0), "block encode/compress workers for store seals (1 = serial)")
 		exchName    = flag.String("exchange", "live", "exchange name recorded in the log header")
 		hold        = flag.Duration("hold", 90*time.Second, "proposed hold time")
 		maxConns    = flag.Int("maxconns", 0, "exit after this many sessions close (0 = run until SIGINT)")
@@ -109,7 +111,7 @@ func main() {
 	}
 	var db *store.Store
 	if *storeDir != "" {
-		if db, err = store.Open(*storeDir, store.Options{AutoSealRecords: 1 << 16}); err != nil {
+		if db, err = store.Open(*storeDir, store.Options{AutoSealRecords: 1 << 16, SealWorkers: *sealWorkers}); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -59,6 +59,7 @@ func main() {
 		traceSample = flag.Float64("trace-sample", 0, "head-sample fraction of traces for /debug/traces (0 = off)")
 		blockCache  = flag.Int64("block-cache-bytes", 32<<20, "store query: shared decompressed-block cache budget in bytes (0 = off)")
 		noMmap      = flag.Bool("no-mmap", false, "store query: disable memory-mapped segment reads")
+		sealWorkers = flag.Int("seal-workers", runtime.GOMAXPROCS(0), "store: block encode/compress workers for seals (1 = serial)")
 	)
 	flag.Parse()
 	if *traceSample > 0 {
@@ -84,7 +85,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	r, src, err := openInput(*in, *storeDir, *from, *to, *origin, *prefix, *parallel, *blockCache, *noMmap)
+	r, src, err := openInput(*in, *storeDir, *from, *to, *origin, *prefix, *parallel, *blockCache, *noMmap, *sealWorkers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -204,7 +205,7 @@ loop:
 // or an indexed store query for -store. The -peer flag is applied in the
 // replay loop either way, so it is not folded into the store query here;
 // time, origin, and prefix predicates are pushed down to the store.
-func openInput(in, storeDir, from, to, origin, prefix string, parallel int, blockCache int64, noMmap bool) (collector.RecordReader, string, error) {
+func openInput(in, storeDir, from, to, origin, prefix string, parallel int, blockCache int64, noMmap bool, sealWorkers int) (collector.RecordReader, string, error) {
 	if in != "" {
 		r, _, err := collector.OpenAny(in)
 		return r, in, err
@@ -213,7 +214,7 @@ func openInput(in, storeDir, from, to, origin, prefix string, parallel int, bloc
 	if err != nil {
 		return nil, "", err
 	}
-	s, err := store.Open(storeDir, store.Options{BlockCacheBytes: blockCache, NoMmap: noMmap})
+	s, err := store.Open(storeDir, store.Options{BlockCacheBytes: blockCache, NoMmap: noMmap, SealWorkers: sealWorkers})
 	if err != nil {
 		return nil, "", err
 	}

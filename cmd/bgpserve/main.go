@@ -25,6 +25,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -55,6 +56,7 @@ func main() {
 		slowLog     = flag.String("slow-query-log", "", "slow-query log file (append; empty = stderr)")
 		blockCache  = flag.Int64("block-cache-bytes", 32<<20, "byte budget of the shared decompressed-block cache (0 = off)")
 		noMmap      = flag.Bool("no-mmap", false, "disable memory-mapped segment reads, forcing the ReadAt path")
+		sealWorkers = flag.Int("seal-workers", runtime.GOMAXPROCS(0), "block encode/compress workers for store seals and compactions (1 = serial)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -91,7 +93,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sopts := store.Options{BlockCacheBytes: *blockCache, NoMmap: *noMmap}
+	sopts := store.Options{BlockCacheBytes: *blockCache, NoMmap: *noMmap, SealWorkers: *sealWorkers}
 	if *chaos != "" {
 		plan, err := faults.ParseSpec(*chaos)
 		if err != nil {

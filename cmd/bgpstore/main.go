@@ -72,11 +72,11 @@ func usage() {
 	os.Exit(2)
 }
 
-func openStore(dir string, window time.Duration, autoSeal int, chaos string, cacheBytes int64, noMmap bool) *store.Store {
+func openStore(dir string, window time.Duration, autoSeal, sealWorkers int, chaos string, cacheBytes int64, noMmap bool) *store.Store {
 	if dir == "" {
 		log.Fatal("missing -store")
 	}
-	opts := store.Options{Window: window, AutoSealRecords: autoSeal,
+	opts := store.Options{Window: window, AutoSealRecords: autoSeal, SealWorkers: sealWorkers,
 		BlockCacheBytes: cacheBytes, NoMmap: noMmap}
 	if chaos != "" {
 		plan, err := faults.ParseSpec(chaos)
@@ -102,12 +102,16 @@ const (
 	noMmapUsage = "disable memory-mapped segment reads, forcing the ReadAt path"
 )
 
+// Shared help text for the write-path tuning flag.
+const sealWorkersUsage = "block encode/compress workers for seals and compactions (1 = serial)"
+
 func cmdIngest(args []string) {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
 	var (
 		dir         = fs.String("store", "", "store directory")
 		window      = fs.Duration("window", 24*time.Hour, "segment time-partition width")
 		autoSeal    = fs.Int("autoseal", 1<<18, "seal automatically after this many buffered records (0 = at end only)")
+		sealWorkers = fs.Int("seal-workers", runtime.GOMAXPROCS(0), sealWorkersUsage)
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 		chaos       = fs.String("chaos", "", chaosUsage)
 		cacheBytes  = fs.Int64("block-cache-bytes", 32<<20, cacheUsage)
@@ -118,7 +122,7 @@ func cmdIngest(args []string) {
 		log.Fatal("ingest: no input files")
 	}
 	serveMetrics(*metricsAddr)
-	s := openStore(*dir, *window, *autoSeal, *chaos, *cacheBytes, *noMmap)
+	s := openStore(*dir, *window, *autoSeal, *sealWorkers, *chaos, *cacheBytes, *noMmap)
 	w := s.Writer()
 	total := 0
 	for _, path := range fs.Args() {
@@ -179,7 +183,7 @@ func cmdQuery(args []string) {
 		ctx, troot = obs.DefaultTracer().Start(ctx, "bgpstore_query")
 		defer troot.Finish()
 	}
-	s := openStore(*dir, 0, 0, *chaos, *cacheBytes, *noMmap)
+	s := openStore(*dir, 0, 0, 0, *chaos, *cacheBytes, *noMmap)
 	defer s.Close()
 	r, err := s.QueryParallelCtx(ctx, q, *parallel)
 	if err != nil {
@@ -242,13 +246,14 @@ func cmdQuery(args []string) {
 func cmdCompact(args []string) {
 	fs := flag.NewFlagSet("compact", flag.ExitOnError)
 	dir := fs.String("store", "", "store directory")
+	sealWorkers := fs.Int("seal-workers", runtime.GOMAXPROCS(0), sealWorkersUsage)
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 	chaos := fs.String("chaos", "", chaosUsage)
 	noMmap := fs.Bool("no-mmap", false, noMmapUsage)
 	fs.Parse(args)
 	serveMetrics(*metricsAddr)
 	// Compaction streams each input once and bypasses the cache by design.
-	s := openStore(*dir, 0, 0, *chaos, 0, *noMmap)
+	s := openStore(*dir, 0, 0, *sealWorkers, *chaos, 0, *noMmap)
 	defer s.Close()
 	st, err := s.Compact()
 	if err != nil {
@@ -262,7 +267,7 @@ func cmdStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	dir := fs.String("store", "", "store directory")
 	fs.Parse(args)
-	s := openStore(*dir, 0, 0, "", 0, false)
+	s := openStore(*dir, 0, 0, 0, "", 0, false)
 	defer s.Close()
 	st := s.Stats()
 	fmt.Printf("segments      %d (%d v1 inline, %d v2 dictionary)\n", st.Segments, st.SegmentsV1, st.SegmentsV2)

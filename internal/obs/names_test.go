@@ -61,6 +61,14 @@ func TestMetricNamesPublished(t *testing.T) {
 		"irtl_store_query_bytes_decompressed_total",
 		"irtl_store_query_bytes_from_cache_total",
 		"irtl_store_query_records_materialized_total",
+		// Write path: background seal pipeline stages and backpressure.
+		"irtl_store_seal_seconds",
+		"irtl_store_seal_active",
+		"irtl_store_seal_workers",
+		"irtl_store_seal_stall_seconds",
+		"irtl_store_seal_sort_seconds",
+		"irtl_store_seal_write_seconds",
+		"irtl_store_seal_publish_seconds",
 		// Read path: shared decompressed-block cache and segment mappings.
 		"irtl_store_blockcache_hits_total",
 		"irtl_store_blockcache_misses_total",

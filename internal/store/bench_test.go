@@ -2,8 +2,11 @@ package store
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"slices"
 	"testing"
+	"time"
 
 	"instability/internal/bgp"
 	"instability/internal/collector"
@@ -206,6 +209,189 @@ func BenchmarkColumnarFilter(b *testing.B) {
 	if len(dst) != 0 {
 		b.Fatal("predicate unexpectedly matched")
 	}
+}
+
+// BenchmarkStoreSeal measures pure seal throughput — memtable to sealed,
+// indexed segments — at one worker (the pre-pipeline serial write path) and
+// at eight. The output bytes are identical at any worker count (pinned by
+// TestSealedBytesIdenticalAcrossWorkers), so records/sec is the whole story:
+// block encoding and deflate dominate a seal, and they parallelize across
+// blocks.
+func BenchmarkStoreSeal(b *testing.B) {
+	recs := hourlyWorkload(4, 2000)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				opts := testOptions()
+				opts.SealWorkers = workers
+				opts.syncSeal = true // time the seal itself, not goroutine handoff
+				s, err := Open(b.TempDir(), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := s.Writer()
+				if err := w.AppendBatch(recs); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := w.Seal(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+		})
+	}
+}
+
+// BenchmarkIngestToSealed is the end-to-end ingest path under auto-seal:
+// batched appends with WAL flushes, background seals overlapping further
+// appends, and a final seal. This is what `bgpstore ingest` does, so the
+// records/sec here is the wire-to-sealed ceiling of the tool.
+func BenchmarkIngestToSealed(b *testing.B) {
+	recs := hourlyWorkload(4, 4000)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				opts := testOptions()
+				opts.SealWorkers = workers
+				opts.AutoSealRecords = 2048
+				opts.FlushEvery = 256
+				s, err := Open(b.TempDir(), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := s.Writer()
+				b.StartTimer()
+				for off := 0; off < len(recs); off += 256 {
+					end := min(off+256, len(recs))
+					if err := w.AppendBatch(recs[off:end]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := w.Seal(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+		})
+	}
+}
+
+// BenchmarkSealStall measures the longest window a seal occupies the store
+// lock. Opening a query is the lock-bound step — QueryCtx snapshots the
+// segment set and memtable under s.mu and the scan itself runs lock-free —
+// so the longest single lock occupancy is exactly the worst stall a seal
+// imposes on a reader: a query arriving at the start of that window waits it
+// out. Both modes seal an identical 65536-record memtable. Sync seals inline
+// under the store lock (the pre-pipeline behavior, kept behind the
+// unexported syncSeal option exactly for this A/B), so the occupancy is the
+// whole sort+encode+compress+rename+publish. Background splits the same seal
+// into its lock-held spans — the detach (WAL flush+rotate, snapshot swap)
+// and one publish per window — with the sort/encode/compress running off the
+// lock; the occupancies are timed directly around those spans, replicating
+// runSeal step by step, so the number is deterministic and not polluted by
+// goroutine wakeup latency or kernel timeslicing on small hosts.
+// max-stall-ms bounds how long a dashboard query can hang during ingest.
+func BenchmarkSealStall(b *testing.B) {
+	recs := hourlyWorkload(2, 32768)
+	fill := func(b *testing.B, sync bool) *Store {
+		b.Helper()
+		opts := testOptions()
+		opts.FlushEvery = 256
+		opts.syncSeal = sync
+		s, err := Open(b.TempDir(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Writer().AppendBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+
+	b.Run("Sync", func(b *testing.B) {
+		var worst time.Duration
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := fill(b, true)
+			b.StartTimer()
+			start := time.Now()
+			if err := s.Writer().Seal(); err != nil {
+				b.Fatal(err)
+			}
+			if d := time.Since(start); d > worst {
+				worst = d
+			}
+			b.StopTimer()
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(worst.Nanoseconds())/1e6, "max-stall-ms")
+		b.ReportMetric(0, "ns/op")
+	})
+
+	b.Run("Background", func(b *testing.B) {
+		var worst time.Duration
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := fill(b, false)
+			b.StartTimer()
+			// The lock-held span an append pays when it crosses the
+			// auto-seal threshold: flush, WAL rotation, memtable detach.
+			s.mu.Lock()
+			start := time.Now()
+			bat, err := s.detachSealLocked()
+			d := time.Since(start)
+			s.mu.Unlock()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bat == nil {
+				b.Fatal("nothing detached")
+			}
+			if d > worst {
+				worst = d
+			}
+			// runSeal, step by step: sort/encode/compress run off the lock;
+			// only each publish re-acquires it, and that span is the stall.
+			for wi := range bat.windows {
+				sw := &bat.windows[wi]
+				sorted := slices.Clone(sw.recs)
+				slices.SortStableFunc(sorted, func(a, b collector.Record) int {
+					return a.Time.Compare(b.Time)
+				})
+				seg, err := writeSegment(s.fs, s.dir, sw.seq, sw.window, sw.firstSeq, sorted, nil, s.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				s.publishSealed(bat, wi, seg, false)
+				if d := time.Since(start); d > worst {
+					worst = d
+				}
+			}
+			s.finishSeal(bat, nil, false)
+			b.StopTimer()
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(worst.Nanoseconds())/1e6, "max-stall-ms")
+		b.ReportMetric(0, "ns/op")
+	})
 }
 
 // TestQueryUntracedTracingAllocsZero pins the zero-allocation contract of

@@ -2,7 +2,7 @@ package store
 
 import (
 	"container/heap"
-	"sort"
+	"slices"
 	"time"
 
 	"instability/internal/collector"
@@ -26,6 +26,11 @@ func (s *Store) Compact() (CompactStats, error) {
 	defer s.mu.Unlock()
 	t0 := time.Now()
 	var st CompactStats
+	// A background seal publishing mid-pass would add segments behind the
+	// group snapshot below; wait it out so the pass sees a stable set.
+	if err := s.joinSealLocked(); err != nil {
+		return st, err
+	}
 	st.SegmentsBefore = len(s.segs)
 
 	groups := make(map[int64][]*segment)
@@ -38,7 +43,7 @@ func (s *Store) Compact() (CompactStats, error) {
 			windows = append(windows, wd)
 		}
 	}
-	sort.Slice(windows, func(i, j int) bool { return windows[i] < windows[j] })
+	slices.Sort(windows)
 
 	for _, wd := range windows {
 		gs := groups[wd]
@@ -65,9 +70,9 @@ func (s *Store) Compact() (CompactStats, error) {
 		s.segs = append(kept, merged)
 		s.mapSegmentLocked(merged)
 		sortSegments(s.segs)
+		s.gen.Add(1)
 	}
 	st.SegmentsAfter = len(s.segs)
-	s.gen.Store(s.nextSeg)
 	obsCompactSeconds.ObserveSince(t0)
 	obsCompactRecords.Add(st.RecordsRewritten)
 	obsSegments.SetInt(int64(len(s.segs)))
@@ -141,8 +146,9 @@ func (s *Store) mergeWindowLocked(window int64, gs []*segment) (*segment, error)
 	}
 	// Seal-assigned sequence ranges within a window are contiguous across
 	// its segments, so the merged range is exactly [firstSeq, lastSeq] and
-	// writeSegment's firstSeq+len-1 arithmetic reproduces lastSeq.
-	merged, err := writeSegment(s.fs, s.dir, s.nextSeg, window, firstSeq, out, replaces, s.opts, s.enc)
+	// writeSegment's firstSeq+len-1 arithmetic reproduces lastSeq. The
+	// rewrite's block compression fans across the seal worker pool.
+	merged, err := writeSegment(s.fs, s.dir, s.nextSeg, window, firstSeq, out, replaces, s.opts)
 	if err != nil {
 		return nil, err
 	}

@@ -27,6 +27,18 @@ var (
 		"Records written into sealed segments.")
 	obsSealedSegments = obs.Default().Counter("irtl_store_sealed_segments_total",
 		"Segments produced by seals.")
+	obsSealActive = obs.Default().Gauge("irtl_store_seal_active",
+		"Whether a background seal batch is in flight (0 or 1).")
+	obsSealWorkers = obs.Default().Gauge("irtl_store_seal_workers",
+		"Block encode/compress workers configured for seals and compactions.")
+	obsSealStallSeconds = obs.Default().Histogram("irtl_store_seal_stall_seconds",
+		"Time an append stalled on seal backpressure (ingest a full threshold ahead).", nil)
+	obsSealSortSeconds = obs.Default().Histogram("irtl_store_seal_sort_seconds",
+		"Time sorting one detached window's snapshot before block encoding.", nil)
+	obsSealWriteSeconds = obs.Default().Histogram("irtl_store_seal_write_seconds",
+		"Time encoding, compressing, and writing one sealed segment.", nil)
+	obsSealPublishSeconds = obs.Default().Histogram("irtl_store_seal_publish_seconds",
+		"Store-lock hold time publishing one sealed segment (the only moment a seal blocks queries).", nil)
 
 	obsCompactSeconds = obs.Default().Histogram("irtl_store_compact_seconds",
 		"Compaction pass latency.", nil)

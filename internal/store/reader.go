@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"sort"
+	"slices"
 
 	"instability/internal/collector"
 	"instability/internal/faults"
@@ -208,10 +208,26 @@ func (r *Reader) retire(st stream) {
 	st.close()
 }
 
-// memSnapshotLocked copies the memtable records matching q, sorted by time,
-// counting every considered record into stats.MemRecords.
+// memSnapshotLocked copies the unsealed records matching q, sorted by time,
+// counting every considered record into stats.MemRecords. Unsealed means the
+// live memtable plus any windows a background seal has detached but not yet
+// published: a record stays query-visible through every stage of the seal
+// pipeline, flipping from this overlay to the sealed segment under the same
+// lock hold. Detached records precede live ones of the same window, so the
+// stable sort reproduces append order on timestamp ties exactly as when both
+// halves lived in one memtable slice.
 func (s *Store) memSnapshotLocked(q Query, stats *ScanStats) []collector.Record {
 	var mem []collector.Record
+	if b := s.sealing; b != nil {
+		for _, sw := range b.windows[b.published:] {
+			for _, rec := range sw.recs {
+				stats.MemRecords++
+				if q.match(rec) {
+					mem = append(mem, rec)
+				}
+			}
+		}
+	}
 	for _, mw := range s.mem {
 		for _, rec := range mw.recs {
 			stats.MemRecords++
@@ -220,7 +236,9 @@ func (s *Store) memSnapshotLocked(q Query, stats *ScanStats) []collector.Record 
 			}
 		}
 	}
-	sort.SliceStable(mem, func(i, j int) bool { return mem[i].Time.Before(mem[j].Time) })
+	slices.SortStableFunc(mem, func(a, b collector.Record) int {
+		return a.Time.Compare(b.Time)
+	})
 	return mem
 }
 

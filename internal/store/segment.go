@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"io"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"instability/internal/collector"
@@ -68,7 +69,13 @@ func segName(seq uint64) string { return fmt.Sprintf("%s%08d%s", segPrefix, seq,
 // writeSegment seals recs (already sorted by time) into a new segment file
 // in dir. The write is crash-safe: the file is assembled under a .tmp name
 // and renamed into place.
-func writeSegment(fsys faults.FS, dir string, seq uint64, windowStart int64, firstSeq uint64, recs []collector.Record, replaces []uint64, opts Options, enc *attrEncoder) (*segment, error) {
+//
+// Block encoding and compression fan out across opts.SealWorkers goroutines:
+// blocks are independent (each carries its own attribute dictionary), so the
+// expensive encode+deflate runs concurrently and the blocks are stitched back
+// in order. The output is byte-identical at any worker count — each block's
+// bytes depend only on its own records, exactly as in the serial loop.
+func writeSegment(fsys faults.FS, dir string, seq uint64, windowStart int64, firstSeq uint64, recs []collector.Record, replaces []uint64, opts Options) (*segment, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("store: sealing empty segment")
 	}
@@ -76,123 +83,87 @@ func writeSegment(fsys faults.FS, dir string, seq uint64, windowStart int64, fir
 	if version == 0 {
 		version = segVersionV2
 	}
-	if version == segVersionV2 && enc == nil {
-		enc = newAttrEncoder()
+
+	nBlocks := (len(recs) + opts.BlockRecords - 1) / opts.BlockRecords
+	encoded := make([]encodedBlock, nBlocks)
+	workers := opts.SealWorkers
+	if workers > nBlocks {
+		workers = nBlocks
 	}
+	if workers <= 1 {
+		sc := getSealScratch()
+		for bi := range encoded {
+			start := bi * opts.BlockRecords
+			end := min(start+opts.BlockRecords, len(recs))
+			encoded[bi] = encodeSegmentBlock(sc, version, recs[start:end])
+			if encoded[bi].err != nil {
+				putSealScratch(sc)
+				return nil, encoded[bi].err
+			}
+		}
+		putSealScratch(sc)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				sc := getSealScratch()
+				defer putSealScratch(sc)
+				for {
+					bi := int(next.Add(1)) - 1
+					if bi >= nBlocks {
+						return
+					}
+					start := bi * opts.BlockRecords
+					end := min(start+opts.BlockRecords, len(recs))
+					encoded[bi] = encodeSegmentBlock(sc, version, recs[start:end])
+				}
+			}()
+		}
+		wg.Wait()
+		for bi := range encoded {
+			if encoded[bi].err != nil {
+				return nil, encoded[bi].err
+			}
+		}
+	}
+
+	// Stitch: blocks in submission order, then the index — built serially
+	// from the raw records so posting lists and the bloom filter fold in the
+	// same order the serial loop used. Index work is map probes and hashes,
+	// cheap next to deflate; it does not need to parallelize.
 	ix := &segIndex{
 		peers:   make(postings),
 		origins: make(postings),
 		filter:  newBloom(len(recs), opts.BloomBitsPerKey),
 	}
-
 	var buf bytes.Buffer
 	buf.WriteString(segMagic)
 	buf.WriteByte(version)
-
-	// v2 per-block dictionary scratch, reused across blocks.
-	var (
-		dictOf   map[uint32]int // handle ID -> dictionary index
-		dictWire [][]byte
-		recIdx   []int
-	)
-	if version >= segVersionV2 {
-		dictOf = make(map[uint32]int, 32)
-	}
-
-	var raw, cbuf bytes.Buffer
-	scratch := make([]byte, 0, 64)
-	for start := 0; start < len(recs); start += opts.BlockRecords {
-		end := start + opts.BlockRecords
-		if end > len(recs) {
-			end = len(recs)
-		}
+	for bi := range encoded {
+		start := bi * opts.BlockRecords
+		end := min(start+opts.BlockRecords, len(recs))
 		block := recs[start:end]
-		blockID := int32(len(ix.blocks))
-
-		raw.Reset()
-		if version >= segVersionV2 {
-			// First pass: build the block's attribute dictionary. inline
-			// tallies what v1 would have spent, for the bytes-saved metric.
-			clear(dictOf)
-			dictWire = dictWire[:0]
-			recIdx = recIdx[:0]
-			inline, dictBytes := 0, 0
-			for _, rec := range block {
-				di := -1
-				if rec.Type == collector.Announce {
-					h, w, err := enc.encode(rec.Attrs)
-					if err != nil {
-						return nil, err
-					}
-					j, ok := dictOf[h.ID]
-					if !ok {
-						j = len(dictWire)
-						dictOf[h.ID] = j
-						dictWire = append(dictWire, w)
-						dictBytes += len(w)
-					}
-					inline += len(w)
-					di = j
-				}
-				recIdx = append(recIdx, di)
-			}
-			scratch = binary.AppendUvarint(scratch[:0], uint64(len(dictWire)))
-			for _, w := range dictWire {
-				scratch = binary.AppendUvarint(scratch, uint64(len(w)))
-				scratch = append(scratch, w...)
-			}
-			raw.Write(scratch)
-			obsDictEntries.Add(int64(len(dictWire)))
-			obsDictBytesSaved.Add(int64(inline - dictBytes))
-		}
-
-		prev := block[0].Time.UnixNano()
-		for ri, rec := range block {
-			t := rec.Time.UnixNano()
-			if t < prev {
-				return nil, fmt.Errorf("store: records not time-sorted at seal")
-			}
-			scratch = binary.AppendUvarint(scratch[:0], uint64(t-prev))
-			prev = t
-			if version >= segVersionV2 {
-				scratch = appendRecordTailV2(scratch, rec, recIdx[ri])
-			} else {
-				var err error
-				scratch, err = appendRecordTail(scratch, rec, enc)
-				if err != nil {
-					return nil, err
-				}
-			}
-			raw.Write(scratch)
-
+		blockID := int32(bi)
+		ix.blocks = append(ix.blocks, blockMeta{
+			offset:  int64(buf.Len()),
+			clen:    int32(len(encoded[bi].comp)),
+			ulen:    int32(encoded[bi].ulen),
+			count:   int32(len(block)),
+			minTime: block[0].Time.UnixNano(),
+			maxTime: block[len(block)-1].Time.UnixNano(),
+		})
+		buf.Write(encoded[bi].comp)
+		encoded[bi].comp = nil
+		for _, rec := range block {
 			ix.peers.add(rec.PeerAS, blockID)
 			if origin, ok := originOf(rec); ok {
 				ix.origins.add(origin, blockID)
 			}
 			ix.filter.add(prefixKey(rec.Prefix))
 		}
-
-		cbuf.Reset()
-		fw, err := flate.NewWriter(&cbuf, flate.DefaultCompression)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := fw.Write(raw.Bytes()); err != nil {
-			return nil, err
-		}
-		if err := fw.Close(); err != nil {
-			return nil, err
-		}
-
-		ix.blocks = append(ix.blocks, blockMeta{
-			offset:  int64(buf.Len()),
-			clen:    int32(cbuf.Len()),
-			ulen:    int32(raw.Len()),
-			count:   int32(len(block)),
-			minTime: block[0].Time.UnixNano(),
-			maxTime: block[len(block)-1].Time.UnixNano(),
-		})
-		buf.Write(cbuf.Bytes())
 	}
 
 	indexOff := int64(buf.Len())

@@ -11,6 +11,8 @@
 // A store is a directory:
 //
 //	wal.log          append-only write-ahead log of unsealed records
+//	wal-<n>.log      rotated WALs backing a seal in flight (deleted once
+//	                 every record they hold is in a sealed segment)
 //	seg-<seq>.irts   sealed immutable segments
 //
 // Each WAL entry is length-prefixed and CRC-checked, so a torn tail from a
@@ -42,10 +44,12 @@
 package store
 
 import (
+	"cmp"
 	"fmt"
 	"hash/fnv"
 	"path/filepath"
-	"sort"
+	"runtime"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -91,6 +95,11 @@ type Options struct {
 	// the store reads through an injected filesystem (Options.FS not the
 	// real disk) or the platform has no mmap support.
 	NoMmap bool
+	// SealWorkers is the number of goroutines that encode and compress
+	// segment blocks during seals and compactions. Blocks are independent, so
+	// the sealed bytes are identical at any worker count; only the wall time
+	// changes. Defaults to GOMAXPROCS; 1 forces the serial path.
+	SealWorkers int
 	// FS is the filesystem the store performs all I/O through. Nil means
 	// the real disk; tests and chaos runs install a faults.Injector to
 	// exercise write errors, torn writes, fsync failures, crashes, and
@@ -101,6 +110,10 @@ type Options struct {
 	// version; tests set it to segVersionV1 to produce compatibility
 	// fixtures. Defaults to segVersionV2.
 	formatVersion byte
+	// syncSeal forces seals to run inline under the store lock, the
+	// pre-pipeline behavior. Unexported: only benchmarks and tests use it,
+	// to measure what background sealing buys.
+	syncSeal bool
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +131,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FS == nil {
 		o.FS = faults.Disk{}
+	}
+	if o.SealWorkers <= 0 {
+		o.SealWorkers = runtime.GOMAXPROCS(0)
 	}
 	if o.formatVersion == 0 {
 		o.formatVersion = segVersionV2
@@ -139,6 +155,20 @@ type Store struct {
 	mem     map[int64]*memWindow // windowStart (unixnano) -> unsealed records
 	memN    int
 	closed  bool
+	closing bool // Close in progress: stops finishSeal from chaining batches
+
+	// sealing is the in-flight background seal batch, nil when idle; queries
+	// overlay its unpublished windows so detached records stay visible.
+	sealing *sealBatch
+	// sealedSeq is the per-window sealed sequence high-water mark, maintained
+	// at publish time so opening a new memtable window is a map probe, not a
+	// scan over every segment.
+	sealedSeq map[int64]uint64
+	// walSeq numbers rotated WAL files; staleWALs are rotated files whose
+	// records are back in the memtable (failed seal, or partial coverage
+	// found at Open) and must survive until a later seal covers them.
+	walSeq    uint64
+	staleWALs []string
 
 	// gen is the segment-set generation: it advances whenever the set of
 	// sealed segments changes (seal, compaction), and is readable without
@@ -224,31 +254,55 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.mapSegmentLocked(g)
 	}
 
-	// Replay the WAL: entries already covered by a sealed segment of their
-	// window are duplicates from a crash between seal and truncate; skip
-	// them. The rest become the recovered memtable.
-	sealed := s.sealedSeqs()
+	// Replay WALs oldest-first: rotated files left by a crash mid-seal, then
+	// the live WAL. Entries already covered by a sealed segment of their
+	// window are duplicates from a crash between segment rename and WAL
+	// deletion; skip them. The rest become the recovered memtable. A rotated
+	// file whose every entry was covered is deleted now; one still backing
+	// memtable records is kept as stale until a later seal covers it.
+	s.sealedSeq = s.sealedSeqs()
+	var rotated []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log") {
+			rotated = append(rotated, name)
+		}
+	}
+	slices.Sort(rotated)
+	for _, name := range rotated {
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "wal-%d.log", &seq); err != nil {
+			continue
+		}
+		if seq >= s.walSeq {
+			s.walSeq = seq + 1
+		}
+		path := filepath.Join(dir, name)
+		rw, ents, err := openWAL(fsys, path)
+		if err != nil {
+			return nil, err
+		}
+		rw.close()
+		kept, err := s.replayWALEntries(ents)
+		if err != nil {
+			return nil, err
+		}
+		if kept == 0 {
+			fsys.Remove(path)
+		} else {
+			s.staleWALs = append(s.staleWALs, path)
+		}
+	}
 	w, entries2, err := openWAL(fsys, filepath.Join(dir, walName))
 	if err != nil {
 		return nil, err
 	}
 	s.wal = w
-	for _, ent := range entries2 {
-		if ent.seq <= sealed[ent.window] {
-			continue
-		}
-		mw := s.mem[ent.window]
-		if mw == nil {
-			mw = &memWindow{firstSeq: ent.seq}
-			s.mem[ent.window] = mw
-		}
-		if got := mw.firstSeq + uint64(len(mw.recs)); ent.seq != got {
-			return nil, fmt.Errorf("store: WAL sequence gap in window %d: have %d, want %d", ent.window, ent.seq, got)
-		}
-		mw.recs = append(mw.recs, ent.rec)
-		s.memN++
+	if _, err := s.replayWALEntries(entries2); err != nil {
+		return nil, err
 	}
 	s.gen.Store(s.nextSeg)
+	obsSealWorkers.SetInt(int64(opts.SealWorkers))
 	obsSegments.SetInt(int64(len(s.segs)))
 	obsMemRecords.SetInt(int64(s.memN))
 	obsWALBytes.SetInt(s.wal.size())
@@ -266,7 +320,8 @@ func Open(dir string, opts Options) (*Store, error) {
 func (s *Store) Generation() uint64 { return s.gen.Load() }
 
 // sealedSeqs returns, per window, the highest sequence number covered by a
-// sealed segment.
+// sealed segment. Open uses it once to prime the incrementally-maintained
+// sealedSeq map.
 func (s *Store) sealedSeqs() map[int64]uint64 {
 	m := make(map[int64]uint64)
 	for _, g := range s.segs {
@@ -275,6 +330,29 @@ func (s *Store) sealedSeqs() map[int64]uint64 {
 		}
 	}
 	return m
+}
+
+// replayWALEntries folds recovered WAL entries into the memtable, skipping
+// entries a sealed segment already covers. kept counts the entries that
+// became memtable records.
+func (s *Store) replayWALEntries(entries []walEntry) (kept int, err error) {
+	for _, ent := range entries {
+		if ent.seq <= s.sealedSeq[ent.window] {
+			continue
+		}
+		mw := s.mem[ent.window]
+		if mw == nil {
+			mw = &memWindow{firstSeq: ent.seq}
+			s.mem[ent.window] = mw
+		}
+		if got := mw.firstSeq + uint64(len(mw.recs)); ent.seq != got {
+			return kept, fmt.Errorf("store: WAL sequence gap in window %d: have %d, want %d", ent.window, ent.seq, got)
+		}
+		mw.recs = append(mw.recs, ent.rec)
+		s.memN++
+		kept++
+	}
+	return kept, nil
 }
 
 // dropReplaced removes segments that a surviving compacted segment claims to
@@ -342,11 +420,11 @@ func (s *Store) dropSegmentLocked(g *segment) {
 }
 
 func sortSegments(segs []*segment) {
-	sort.Slice(segs, func(i, j int) bool {
-		if segs[i].windowStart != segs[j].windowStart {
-			return segs[i].windowStart < segs[j].windowStart
+	slices.SortFunc(segs, func(a, b *segment) int {
+		if c := cmp.Compare(a.windowStart, b.windowStart); c != 0 {
+			return c
 		}
-		return segs[i].seq < segs[j].seq
+		return cmp.Compare(a.seq, b.seq)
 	})
 }
 
@@ -369,17 +447,20 @@ func (s *Store) windowStart(t time.Time) int64 {
 
 // Stats describes the current shape of the store.
 type Stats struct {
-	Segments    int    // sealed segment files
-	SegmentsV1  int    // segments in block format v1 (inline attributes)
-	SegmentsV2  int    // segments in block format v2 (attribute dictionary)
-	Blocks      int    // compressed blocks across all segments
-	Records     int64  // records in sealed segments
-	MemRecords  int    // unsealed records (memtable / WAL)
-	Windows     int    // distinct time windows with any data
-	DiskBytes   int64  // total size of segment files
-	WALBytes    int64  // current WAL size
-	Generation  uint64 // segment-set generation counter (see Store.Generation)
-	Fingerprint uint64 // content hash of the sealed segment set
+	Segments   int   // sealed segment files
+	SegmentsV1 int   // segments in block format v1 (inline attributes)
+	SegmentsV2 int   // segments in block format v2 (attribute dictionary)
+	Blocks     int   // compressed blocks across all segments
+	Records    int64 // records in sealed segments
+	MemRecords int   // unsealed records (memtable + any in-flight seal)
+	// SealingRecords is the subset of MemRecords detached into a background
+	// seal that has not published yet (0 when no seal is in flight).
+	SealingRecords int
+	Windows        int    // distinct time windows with any data
+	DiskBytes      int64  // total size of segment files
+	WALBytes       int64  // current WAL size
+	Generation     uint64 // segment-set generation counter (see Store.Generation)
+	Fingerprint    uint64 // content hash of the sealed segment set
 
 	MmapSegments int             // segments currently served from a memory mapping
 	BlockCache   BlockCacheStats // shared decompressed-block cache
@@ -408,7 +489,13 @@ func (s *Store) Stats() Stats {
 			windows[w] = true
 		}
 	}
-	st.MemRecords = s.memN
+	if b := s.sealing; b != nil {
+		for _, sw := range b.windows[b.published:] {
+			windows[sw.window] = true
+			st.SealingRecords += len(sw.recs)
+		}
+	}
+	st.MemRecords = s.memN + st.SealingRecords
 	st.Windows = len(windows)
 	st.WALBytes = s.wal.size()
 	st.Generation = s.gen.Load()
@@ -442,14 +529,16 @@ func (s *Store) fingerprintLocked() uint64 {
 	return h.Sum64()
 }
 
-// Close seals any unsealed records and releases the store.
+// Close seals any unsealed records — joining a background seal already in
+// flight — and releases the store.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil
 	}
-	err := s.sealLocked()
+	s.closing = true
+	err := s.sealSyncLocked()
 	if cerr := s.wal.close(); err == nil {
 		err = cerr
 	}

@@ -472,6 +472,11 @@ func TestAutoSeal(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Auto-seals run in the background; join them so the bound below is the
+	// steady-state memtable, not a batch caught mid-flight.
+	if err := s.joinSeal(); err != nil {
+		t.Fatal(err)
+	}
 	st := s.Stats()
 	if st.MemRecords >= opts.AutoSealRecords {
 		t.Fatalf("memtable grew to %d despite auto-seal at %d", st.MemRecords, opts.AutoSealRecords)

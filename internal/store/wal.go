@@ -6,12 +6,48 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"instability/internal/collector"
 	"instability/internal/faults"
 )
 
 const walName = "wal.log"
+
+// walRotName names a rotated WAL file. Rotation numbers are zero-padded so
+// lexicographic directory order is replay order.
+func walRotName(seq uint64) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// rotateWALLocked moves the live WAL aside under a rotation name and opens a
+// fresh one, so a background seal can cover the rotated file's records while
+// new appends keep landing durably. The rotated file is deleted only after
+// every record it holds is in a renamed segment (see finishSeal); a crash at
+// any point leaves either the rename undone (the file replays as wal.log
+// would have) or done (it replays as a rotated WAL, deduped by sequence
+// range). Returns "" when the live WAL is empty and nothing was rotated.
+func (s *Store) rotateWALLocked() (string, error) {
+	if s.wal.size() == 0 {
+		return "", nil
+	}
+	active := filepath.Join(s.dir, walName)
+	rotated := filepath.Join(s.dir, walRotName(s.walSeq))
+	if err := s.fs.Rename(active, rotated); err != nil {
+		return "", err
+	}
+	w, _, err := openWAL(s.fs, active)
+	if err != nil {
+		// Roll the rename back so the store still has a live WAL; the seal
+		// that wanted the rotation aborts.
+		s.fs.Rename(rotated, active)
+		return "", err
+	}
+	s.walSeq++
+	old := s.wal
+	s.wal = w
+	old.close()
+	obsWALBytes.SetInt(0)
+	return rotated, nil
+}
 
 // walEntry is one logged append: the record plus its (window, sequence)
 // position, which is what makes recovery dedupe exact.
@@ -93,21 +129,6 @@ func (w *wal) append(frames []byte, sync bool) error {
 		return err
 	}
 	w.off += int64(len(frames))
-	if sync {
-		return w.f.Sync()
-	}
-	return nil
-}
-
-// reset truncates the WAL after a successful full seal.
-func (w *wal) reset(sync bool) error {
-	if err := w.f.Truncate(0); err != nil {
-		return err
-	}
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	w.off = 0
 	if sync {
 		return w.f.Sync()
 	}

@@ -3,10 +3,11 @@ package store
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"time"
 
 	"instability/internal/collector"
+	"instability/internal/obs"
 )
 
 // Writer is the ingest half of a Store: appends are WAL-logged and batched
@@ -81,16 +82,50 @@ func (w *Writer) appendLocked(rec collector.Record) error {
 }
 
 // maintainLocked applies the flush and auto-seal policies after appends.
+// An auto-seal triggered here runs on a background goroutine: the append
+// returns as soon as the memtable windows are detached, and only when ingest
+// has outrun the sealer by a full threshold does it park until the in-flight
+// batch lands (the stall is measured, not silent).
 func (w *Writer) maintainLocked() error {
 	s := w.s
-	obsMemRecords.SetInt(int64(s.memN))
+	obsMemRecords.SetInt(int64(s.unsealedLocked()))
 	if w.pendingN >= s.opts.FlushEvery {
 		if err := w.flushLocked(); err != nil {
 			return err
 		}
 	}
-	if s.opts.AutoSealRecords > 0 && s.memN >= s.opts.AutoSealRecords {
-		return s.sealLocked()
+	if s.opts.AutoSealRecords <= 0 || s.memN < s.opts.AutoSealRecords {
+		return nil
+	}
+	if s.opts.syncSeal {
+		return s.sealSyncLocked()
+	}
+	if s.sealing == nil {
+		if _, err := s.startSealLocked(); err != nil {
+			return err
+		}
+	}
+	// Backpressure: ingest may run a full threshold ahead of the sealer, then
+	// waits for the in-flight batch so memory stays bounded at ~2 thresholds.
+	for s.sealing != nil && s.memN >= 2*s.opts.AutoSealRecords {
+		b := s.sealing
+		if err := w.flushLocked(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		s.mu.Unlock()
+		<-b.done
+		s.mu.Lock()
+		obsSealStallSeconds.ObserveSince(t0)
+		if s.closed {
+			// A concurrent Close sealed everything, this append included.
+			return nil
+		}
+		if s.sealing == nil && s.memN >= s.opts.AutoSealRecords {
+			if _, err := s.startSealLocked(); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -132,15 +167,21 @@ func (w *Writer) AppendAll(r collector.RecordReader) (int, error) {
 const appendAllBatch = 512
 
 // nextWindowSeqLocked returns the first free sequence number of a window the
-// memtable has no entry for: one past whatever is already sealed.
+// memtable has no entry for: one past whatever is sealed or detached into an
+// in-flight seal. The sealed high-water mark is a map lookup maintained at
+// publish time, not a scan over every segment.
 func (s *Store) nextWindowSeqLocked(window int64) uint64 {
-	var max uint64
-	for _, g := range s.segs {
-		if g.windowStart == window && g.lastSeq > max {
-			max = g.lastSeq
+	next := s.sealedSeq[window] + 1
+	if b := s.sealing; b != nil {
+		for _, sw := range b.windows[b.published:] {
+			if sw.window == window {
+				if end := sw.firstSeq + uint64(len(sw.recs)); end > next {
+					next = end
+				}
+			}
 		}
 	}
-	return max + 1
+	return next
 }
 
 // Flush group-commits any buffered appends to the WAL.
@@ -168,59 +209,305 @@ func (w *Writer) flushLocked() error {
 }
 
 // Seal flushes the WAL and turns the entire memtable into sealed segments,
-// one per nonempty time window, then truncates the WAL. After a seal the
-// data no longer depends on the WAL at all.
+// one per nonempty time window. It joins any in-flight background seal first
+// and returns only when everything appended before the call is sealed and no
+// longer depends on any WAL file.
 func (w *Writer) Seal() error {
 	s := w.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sealLocked()
+	return s.sealSyncLocked()
 }
 
-func (s *Store) sealLocked() error {
+// sealBatch is one background seal in flight: the memtable windows detached
+// from the store, the WAL files that cover exactly their records, and the
+// publish cursor. windows[:published] are sealed segments live in s.segs;
+// windows[published:] are still only in this snapshot, and queries overlay
+// them so visibility never regresses mid-seal.
+type sealBatch struct {
+	windows   []sealWindow
+	published int      // guarded by Store.mu
+	wals      []string // rotated WAL files to delete once all windows publish
+	err       error    // terminal batch error, readable after done closes
+	done      chan struct{}
+}
+
+// sealWindow is one detached memtable window awaiting seal. recs is the
+// append-ordered snapshot and is immutable from detach on: the sealer sorts
+// a clone, queries overlay it as-is, and a failed seal requeues it verbatim.
+type sealWindow struct {
+	window   int64
+	firstSeq uint64
+	seq      uint64 // segment file number reserved at detach
+	recs     []collector.Record
+}
+
+// remaining counts the batch's not-yet-published records (mu held).
+func (b *sealBatch) remaining() int {
+	n := 0
+	for _, sw := range b.windows[b.published:] {
+		n += len(sw.recs)
+	}
+	return n
+}
+
+// unsealedLocked is the record count queries must overlay from memory: the
+// live memtable plus any detached-but-unpublished seal snapshot.
+func (s *Store) unsealedLocked() int {
+	n := s.memN
+	if s.sealing != nil {
+		n += s.sealing.remaining()
+	}
+	return n
+}
+
+// detachSealLocked flushes pending appends, rotates the WAL, and detaches
+// every nonempty memtable window into a sealBatch. It returns nil when there
+// is nothing to seal. After it returns, the memtable is empty and new appends
+// land in a fresh WAL; the batch alone references the detached records and
+// the rotated WAL files that make them durable.
+func (s *Store) detachSealLocked() (*sealBatch, error) {
 	if err := s.writer.flushLocked(); err != nil {
-		return err
+		return nil, err
 	}
 	if s.memN == 0 {
-		return nil
+		return nil, nil
 	}
-	t0 := time.Now()
-	sealedRecords := s.memN
+	rotated, err := s.rotateWALLocked()
+	if err != nil {
+		return nil, err
+	}
+	b := &sealBatch{done: make(chan struct{})}
+	// Stale WALs from earlier failed seals (or recovered at Open) cover
+	// records that were requeued into the memtable, so this batch subsumes
+	// them: they become deletable exactly when it fully publishes.
+	b.wals = append(b.wals, s.staleWALs...)
+	s.staleWALs = nil
+	if rotated != "" {
+		b.wals = append(b.wals, rotated)
+	}
 	windows := make([]int64, 0, len(s.mem))
-	for wd, mw := range s.mem {
-		if len(mw.recs) > 0 {
-			windows = append(windows, wd)
-		}
+	for wd := range s.mem {
+		windows = append(windows, wd)
 	}
-	sort.Slice(windows, func(i, j int) bool { return windows[i] < windows[j] })
+	slices.Sort(windows)
 	for _, wd := range windows {
 		mw := s.mem[wd]
-		sort.SliceStable(mw.recs, func(i, j int) bool { return mw.recs[i].Time.Before(mw.recs[j].Time) })
-		seg, err := writeSegment(s.fs, s.dir, s.nextSeg, wd, mw.firstSeq, mw.recs, nil, s.opts, s.enc)
+		if len(mw.recs) == 0 {
+			continue
+		}
+		b.windows = append(b.windows, sealWindow{
+			window:   wd,
+			firstSeq: mw.firstSeq,
+			seq:      s.nextSeg,
+			recs:     mw.recs,
+		})
+		s.nextSeg++
+	}
+	clear(s.mem)
+	s.memN = 0
+	s.sealing = b
+	obsSealActive.SetInt(1)
+	return b, nil
+}
+
+// startSealLocked detaches the memtable and launches the seal on a background
+// goroutine. Returns the in-flight batch, nil when there was nothing to seal.
+func (s *Store) startSealLocked() (*sealBatch, error) {
+	b, err := s.detachSealLocked()
+	if err != nil || b == nil {
+		return b, err
+	}
+	go s.runSeal(b, false)
+	return b, nil
+}
+
+// runSeal seals a detached batch: per window, sort a clone of the snapshot,
+// write the segment (block compression fans across the seal worker pool),
+// and publish it under a short lock. Windows publish incrementally, so a
+// failure partway keeps every already-published segment and requeues only
+// the rest. locked reports whether the caller already holds s.mu (the
+// synchronous syncSeal path); the background path takes it per publish.
+func (s *Store) runSeal(b *sealBatch, locked bool) {
+	t0 := time.Now()
+	span := obs.StartSpan("store_seal")
+	var err error
+	records := 0
+	for i := range b.windows {
+		sw := &b.windows[i]
+		t1 := time.Now()
+		recs := slices.Clone(sw.recs)
+		slices.SortStableFunc(recs, func(a, b collector.Record) int {
+			return a.Time.Compare(b.Time)
+		})
+		obsSealSortSeconds.ObserveSince(t1)
+		t2 := time.Now()
+		var seg *segment
+		seg, err = writeSegment(s.fs, s.dir, sw.seq, sw.window, sw.firstSeq, recs, nil, s.opts)
+		if err != nil {
+			break
+		}
+		obsSealWriteSeconds.ObserveSince(t2)
+		s.publishSealed(b, i, seg, locked)
+		records += len(recs)
+	}
+	span.Add(int64(records))
+	span.End()
+	if err == nil {
+		obsSealSeconds.ObserveSince(t0)
+	}
+	s.finishSeal(b, err, locked)
+}
+
+// publishSealed makes one sealed segment live: it enters the segment list,
+// the window's sealed high-water mark advances, and the batch's publish
+// cursor moves past it — all under one short lock hold, which is the only
+// moment a seal blocks queries.
+func (s *Store) publishSealed(b *sealBatch, i int, seg *segment, locked bool) {
+	t0 := time.Now()
+	if !locked {
+		s.mu.Lock()
+	}
+	seg.di = s.dec
+	s.segs = append(s.segs, seg)
+	sortSegments(s.segs)
+	s.mapSegmentLocked(seg)
+	if seg.lastSeq > s.sealedSeq[seg.windowStart] {
+		s.sealedSeq[seg.windowStart] = seg.lastSeq
+	}
+	b.published = i + 1
+	s.gen.Add(1)
+	obsSegments.SetInt(int64(len(s.segs)))
+	obsMemRecords.SetInt(int64(s.unsealedLocked()))
+	if !locked {
+		s.mu.Unlock()
+	}
+	obsSealPublishSeconds.ObserveSince(t0)
+	obsSealedRecords.Add(seg.count)
+	obsSealedSegments.Inc()
+}
+
+// finishSeal retires a batch. On success the rotated WAL files it covers are
+// deleted — every record they held is now in a renamed, sealed segment, the
+// ordering the crash-safety argument rests on. On failure the unpublished
+// windows are requeued into the memtable (their WAL files are kept as stale
+// until a later seal covers them), so no acked record is ever dropped. If
+// auto-seal pressure built up while this batch ran, the next one starts
+// immediately.
+func (s *Store) finishSeal(b *sealBatch, err error, locked bool) {
+	if !locked {
+		s.mu.Lock()
+	}
+	if err != nil {
+		b.err = err
+		for _, sw := range b.windows[b.published:] {
+			s.requeueWindowLocked(sw)
+		}
+		s.staleWALs = append(s.staleWALs, b.wals...)
+	} else {
+		for _, path := range b.wals {
+			s.fs.Remove(path)
+		}
+	}
+	s.sealing = nil
+	obsSealActive.SetInt(0)
+	obsMemRecords.SetInt(int64(s.unsealedLocked()))
+	if err == nil && !locked && !s.closing &&
+		s.opts.AutoSealRecords > 0 && s.memN >= s.opts.AutoSealRecords {
+		// A start error here is deliberately dropped: the next append's
+		// maintainLocked retries and surfaces it.
+		s.startSealLocked()
+	}
+	if !locked {
+		s.mu.Unlock()
+	}
+	close(b.done)
+}
+
+// requeueWindowLocked returns one unpublished detached window to the
+// memtable after a failed seal. Appends may have opened a fresh memWindow
+// for the same time window in the meantime (its firstSeq continues where the
+// snapshot ended), so the detached records are prepended to keep the
+// window's sequence numbering contiguous and its append order intact.
+func (s *Store) requeueWindowLocked(sw sealWindow) {
+	if mw := s.mem[sw.window]; mw != nil {
+		mw.recs = append(sw.recs[:len(sw.recs):len(sw.recs)], mw.recs...)
+		mw.firstSeq = sw.firstSeq
+	} else {
+		s.mem[sw.window] = &memWindow{firstSeq: sw.firstSeq, recs: sw.recs}
+	}
+	s.memN += len(sw.recs)
+}
+
+// joinSeal blocks until no seal is in flight, including any follow-up batch
+// finishSeal chained. Tests use it to reach a quiescent store without the
+// full Seal side effect of flushing the live memtable.
+func (s *Store) joinSeal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.joinSealLocked()
+}
+
+// joinSealLocked waits out any in-flight background seal, releasing the lock
+// while it runs. Returns the batch's error, if it failed.
+func (s *Store) joinSealLocked() error {
+	for s.sealing != nil {
+		b := s.sealing
+		s.mu.Unlock()
+		<-b.done
+		s.mu.Lock()
+		if b.err != nil {
+			return b.err
+		}
+	}
+	return nil
+}
+
+// sealSyncLocked is the synchronous seal: join any in-flight batch, then
+// seal and wait until the memtable is empty (appends racing the wait are
+// swept into follow-up batches). Seal, Close, and the syncSeal option all
+// funnel here.
+func (s *Store) sealSyncLocked() error {
+	for {
+		if err := s.joinSealLocked(); err != nil {
+			return err
+		}
+		if err := s.writer.flushLocked(); err != nil {
+			return err
+		}
+		if s.memN == 0 {
+			return nil
+		}
+		if s.opts.syncSeal {
+			// Inline variant: the whole seal runs under the lock, exactly the
+			// pre-pipeline behavior. Kept for A/B stall measurement.
+			b, err := s.detachSealLocked()
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				return nil
+			}
+			s.runSeal(b, true)
+			if b.err != nil {
+				return b.err
+			}
+			continue
+		}
+		b, err := s.startSealLocked()
 		if err != nil {
 			return err
 		}
-		seg.di = s.dec
-		s.nextSeg++
-		s.segs = append(s.segs, seg)
-		s.mapSegmentLocked(seg)
-		s.memN -= len(mw.recs)
-		delete(s.mem, wd)
+		if b == nil {
+			return nil
+		}
+		s.mu.Unlock()
+		<-b.done
+		s.mu.Lock()
+		if b.err != nil {
+			return b.err
+		}
 	}
-	sortSegments(s.segs)
-	s.gen.Store(s.nextSeg)
-	obsSealSeconds.ObserveSince(t0)
-	obsSealedRecords.Add(int64(sealedRecords - s.memN))
-	obsSealedSegments.Add(int64(len(windows)))
-	obsSegments.SetInt(int64(len(s.segs)))
-	obsMemRecords.SetInt(int64(s.memN))
-	// Every WAL entry is now covered by a sealed segment; a crash before
-	// this truncate is handled by sequence-range dedupe on reopen.
-	if err := s.wal.reset(s.opts.Sync); err != nil {
-		return err
-	}
-	obsWALBytes.SetInt(0)
-	return nil
 }
 
 // Count returns the number of records appended through this writer.
