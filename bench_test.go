@@ -18,6 +18,7 @@ import (
 	"instability/internal/collector"
 	"instability/internal/core"
 	"instability/internal/damping"
+	"instability/internal/detect"
 	"instability/internal/events"
 	"instability/internal/exchange"
 	"instability/internal/netaddr"
@@ -635,6 +636,22 @@ func feedRecords(b *testing.B) []collector.Record {
 func BenchmarkPipelineFeed(b *testing.B) {
 	recs := feedRecords(b)
 	p := instability.NewPipeline()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Feed(recs[i%len(recs)])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records_per_sec")
+}
+
+// BenchmarkPipelineFeedDetect is BenchmarkPipelineFeed with the anomaly
+// detector attached to the Events hook — the delta between the two is the
+// marginal per-record cost of detection on the classify hot path.
+func BenchmarkPipelineFeedDetect(b *testing.B) {
+	recs := feedRecords(b)
+	p := instability.NewPipeline()
+	det := detect.New(detect.Config{})
+	p.Events = det.Add
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

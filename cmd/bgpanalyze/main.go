@@ -9,6 +9,7 @@
 //	bgpanalyze -in maeeast.irtl.gz -id all
 //	bgpanalyze -store db -from 1996-05-01 -to 1996-06-01 -peer 690 -id fig6
 //	bgpanalyze -remote localhost:1791 -from 1996-05-01 -to 1996-06-01 -id fig6
+//	bgpanalyze -in attack.irtl.gz -detect -truth truth.json -alert-log alerts.log
 //
 // With -store the input is an irtlstore query: the slice to classify is
 // selected by the store's indexes (time window, peer AS, origin AS, prefix)
@@ -20,15 +21,18 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 	"time"
 
 	"instability"
 	"instability/internal/collector"
 	"instability/internal/core"
+	"instability/internal/detect"
 	"instability/internal/intern"
 	"instability/internal/obs"
 	"instability/internal/report"
@@ -57,6 +61,9 @@ func main() {
 		traceSample = flag.Float64("trace-sample", 0, "trace this run (0 = off, 1 = always); with -remote the trace ID is shared with the server")
 		blockCache  = flag.Int64("block-cache-bytes", 32<<20, "store query: shared decompressed-block cache budget in bytes (0 = off)")
 		noMmap      = flag.Bool("no-mmap", false, "store query: disable memory-mapped segment reads")
+		detectFlag  = flag.Bool("detect", false, "run the streaming anomaly detector over the classified stream and print its alerts")
+		truthFile   = flag.String("truth", "", "ground-truth intervals (JSON, from bgpsim -truth-out) to score -detect alerts against")
+		alertLog    = flag.String("alert-log", "", "append -detect alerts to this sidecar log (served by bgpserve /v1/alerts)")
 	)
 	flag.Parse()
 	sources := 0
@@ -142,12 +149,22 @@ func main() {
 		n           int
 		err2        error
 	)
+	var det *detect.Detector
+	if *detectFlag {
+		det = detect.New(detect.Config{})
+	} else if *truthFile != "" || *alertLog != "" {
+		log.Fatal("-truth and -alert-log require -detect")
+	}
 	span, _ := obs.StartSpanCtx(ctx, "classify")
 	if *parallel > 1 {
 		pp := instability.NewParallelPipeline(instability.ParallelConfig{Shards: *parallel})
 		// Live taxonomy counters: merged at each day barrier, so a scrape
 		// during a long classify trails the stream by at most one day.
 		pp.Acc.Register(obs.Default())
+		if det != nil {
+			pp.Events = det.Add
+			pp.DayEnd = func(d core.Date) { det.Advance(d.Time().AddDate(0, 0, 1)) }
+		}
 		n, err2 = instability.ClassifyLogParallel(r, pp)
 		pp.Close()
 		acc, censusByDay, finalCensus = pp.Acc, pp.CensusByDay, pp.Census
@@ -156,6 +173,10 @@ func main() {
 		// Live taxonomy counters: a scrape during a long classify shows the
 		// per-class mix as it accumulates.
 		p.Acc.Register(obs.Default())
+		if det != nil {
+			p.Events = det.Add
+			p.DayEnd = func(d core.Date) { det.Advance(d.Time().AddDate(0, 0, 1)) }
+		}
 		n, err2 = instability.ClassifyLog(r, p)
 		acc, censusByDay, finalCensus = p.Acc, p.CensusByDay, p.Table.TakeCensus
 	}
@@ -173,6 +194,10 @@ func main() {
 			100*float64(hits)/float64(hits+misses), hits+misses, misses, paths)
 	}
 	fmt.Println()
+
+	if det != nil {
+		reportAlerts(det.Finish(), *truthFile, *alertLog)
+	}
 
 	table1Day := busiestDay(acc)
 	if *day != "" {
@@ -224,6 +249,54 @@ func main() {
 		return
 	}
 	show(*id)
+}
+
+// reportAlerts prints the detector's alert stream and, when asked, appends
+// it to a sidecar log (the file bgpserve's /v1/alerts serves) and scores it
+// against ground-truth intervals written by bgpsim -truth-out.
+func reportAlerts(alerts []detect.Alert, truthFile, alertLog string) {
+	fmt.Printf("detector: %d alert episodes\n", len(alerts))
+	for _, a := range alerts {
+		target := ""
+		switch {
+		case a.Prefix != "":
+			target = fmt.Sprintf(" peer=%d prefix=%s", a.Peer, a.Prefix)
+		case a.Peer != 0:
+			target = fmt.Sprintf(" peer=%d", a.Peer)
+		}
+		fmt.Printf("  %-6s %s%s %s .. %s windows=%d records=%d peak=%.1f baseline=%.2f\n",
+			a.Channel, a.Class, target,
+			a.Start.Format("2006-01-02 15:04"), a.End.Format("2006-01-02 15:04"),
+			a.Windows, a.Records, a.Peak, a.Baseline)
+	}
+	if alertLog != "" {
+		l, err := store.OpenSidecarLog(alertLog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, a := range alerts {
+			if err := l.Append(a); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("appended %d alerts to %s\n", len(alerts), alertLog)
+	}
+	if truthFile != "" {
+		data, err := os.ReadFile(truthFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var truths []detect.Truth
+		if err := json.Unmarshal(data, &truths); err != nil {
+			log.Fatalf("bad truth file %s: %v", truthFile, err)
+		}
+		sc := detect.Evaluate(alerts, truths, 15*time.Minute)
+		fmt.Println(sc)
+	}
+	fmt.Println()
 }
 
 func printSummary(acc *core.Accumulator, census rib.Census) {

@@ -10,6 +10,7 @@
 //	bgpreplay -in maeeast.irtl.gz -connect 127.0.0.1:1790 -speedup 600
 //	bgpreplay -in maeeast.irtl.gz -connect 127.0.0.1:1790 -peer 690 -as 690
 //	bgpreplay -store db -from 1996-05-01 -to 1996-05-08 -origin 237 -connect 127.0.0.1:1790
+//	bgpreplay -in attack.irtl.gz -connect 127.0.0.1:1790 -detect
 //
 // With -store the input is an irtlstore query instead of a flat log: the
 // store's indexes select the slice (time window, peer, origin, prefix) and
@@ -28,8 +29,11 @@ import (
 	"syscall"
 	"time"
 
+	"instability"
 	"instability/internal/bgp"
 	"instability/internal/collector"
+	"instability/internal/core"
+	"instability/internal/detect"
 	"instability/internal/intern"
 	"instability/internal/netaddr"
 	"instability/internal/obs"
@@ -54,6 +58,7 @@ func main() {
 		speedup     = flag.Float64("speedup", 600, "time compression factor (600 = one simulated hour per 6 wall seconds)")
 		limit       = flag.Int("n", 0, "stop after this many records (0 = all)")
 		stateless   = flag.Bool("stateless", false, "replay as the stateless vendor: withdrawals are sent even for never-advertised prefixes, reproducing the log's WWDups on the wire")
+		detectFlag  = flag.Bool("detect", false, "classify the replayed records through the streaming anomaly detector and print its alerts at the end")
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "store query: segment-scan decompression workers (1 = serial scan)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /varz, /healthz, /debug/pprof on this address")
 		traceSample = flag.Float64("trace-sample", 0, "head-sample fraction of traces for /debug/traces (0 = off)")
@@ -124,6 +129,20 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	interrupted := false
 
+	// With -detect the records also flow through the classifier into the
+	// anomaly detector as they go out on the wire, with day barriers at log
+	// date boundaries — the same feed bgpanalyze -detect runs offline.
+	var det *detect.Detector
+	var dp *instability.Pipeline
+	var detDay core.Date
+	haveDetDay := false
+	if *detectFlag {
+		det = detect.New(detect.Config{})
+		dp = instability.NewPipeline()
+		dp.Events = det.Add
+		dp.DayEnd = func(d core.Date) { det.Advance(d.Time().AddDate(0, 0, 1)) }
+	}
+
 	span := reg.StartSpan("replay")
 	var sent int
 	var prev time.Time
@@ -169,6 +188,15 @@ loop:
 			}
 		}
 		prev = rec.Time
+		if dp != nil {
+			if d := core.DateOf(rec.Time); !haveDetDay || d != detDay {
+				if haveDetDay {
+					dp.EndDay(detDay)
+				}
+				detDay, haveDetDay = d, true
+			}
+			dp.Feed(rec)
+		}
 		runner.Do(func(p *session.Peer) {
 			switch rec.Type {
 			case collector.Announce:
@@ -198,6 +226,19 @@ loop:
 	if hits, misses, _ := intern.Stats(); hits+misses > 0 {
 		fmt.Printf("attr intern: %.1f%% hit rate (%d lookups, %d unique tuples)\n",
 			100*float64(hits)/float64(hits+misses), hits+misses, misses)
+	}
+	if dp != nil {
+		if haveDetDay {
+			dp.EndDay(detDay)
+		}
+		alerts := det.Finish()
+		fmt.Printf("detector: %d alert episodes\n", len(alerts))
+		for _, a := range alerts {
+			fmt.Printf("  %-6s %s peer=%d prefix=%s %s .. %s windows=%d records=%d peak=%.1f\n",
+				a.Channel, a.Class, a.Peer, a.Prefix,
+				a.Start.Format("2006-01-02 15:04"), a.End.Format("2006-01-02 15:04"),
+				a.Windows, a.Records, a.Peak)
+		}
 	}
 }
 

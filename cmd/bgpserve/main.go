@@ -54,6 +54,7 @@ func main() {
 		traceRing   = flag.Int("trace-ring", 256, "completed traces retained for /debug/traces")
 		slowQuery   = flag.Duration("slow-query", time.Second, "emit an NDJSON profile line for requests at or over this duration (negative = never)")
 		slowLog     = flag.String("slow-query-log", "", "slow-query log file (append; empty = stderr)")
+		alertLog    = flag.String("alert-log", "", "detector alert sidecar log to expose on /v1/alerts (written by bgpanalyze -detect -alert-log)")
 		blockCache  = flag.Int64("block-cache-bytes", 32<<20, "byte budget of the shared decompressed-block cache (0 = off)")
 		noMmap      = flag.Bool("no-mmap", false, "disable memory-mapped segment reads, forcing the ReadAt path")
 		sealWorkers = flag.Int("seal-workers", runtime.GOMAXPROCS(0), "block encode/compress workers for store seals and compactions (1 = serial)")
@@ -119,6 +120,7 @@ func main() {
 		DrainTimeout: *drain,
 		SlowQuery:    *slowQuery,
 		SlowQueryLog: slowW,
+		AlertLog:     *alertLog,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -6,9 +6,11 @@
 //
 //	bgpsim -out maeeast.irtl.gz -days 214 -scale paper
 //	bgpsim -out week.irtl -days 7 -scale small -seed 7
+//	bgpsim -out attack.irtl.gz -scale small -adversary hijack,worm -truth-out truth.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +31,8 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override random seed")
 		exchange = flag.String("exchange", "", "exchange point (Mae-East, Sprint, AADS, PacBell, Mae-West)")
 		scale    = flag.String("scale", "paper", "scenario scale: paper (7 months) or small (1 week)")
+		advSpec  = flag.String("adversary", "", "inject adversarial scenarios on consecutive days: comma-separated hijack|leak|poison|storm|worm, or all")
+		truthOut = flag.String("truth-out", "", "write the injected episodes' ground-truth intervals as JSON (for bgpanalyze -detect -truth)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -50,6 +54,37 @@ func main() {
 	}
 	if *exchange != "" {
 		cfg.Exchange = *exchange
+	}
+	if *advSpec != "" {
+		names := strings.Split(*advSpec, ",")
+		if *advSpec == "all" {
+			names = names[:0]
+			for _, k := range workload.AdversaryScenarios {
+				names = append(names, k.String())
+			}
+		}
+		// Episodes land on consecutive days starting day 2, after the
+		// detector's baselines have something to decay from (the same
+		// placement as workload.AdversaryConfig).
+		for i, name := range names {
+			kind, err := workload.ParseScenario(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			day := 2 + i
+			if day >= cfg.Days {
+				log.Fatalf("-adversary %s lands on day %d but the scenario has only %d days; raise -days", name, day, cfg.Days)
+			}
+			mag := 1.0
+			if kind == workload.WormPropagation {
+				mag = 1.5
+			}
+			cfg.Incidents = append(cfg.Incidents, workload.Incident{
+				Kind: kind, Day: day, Days: 1, Magnitude: mag,
+			})
+		}
+	} else if *truthOut != "" {
+		log.Fatal("-truth-out requires -adversary")
 	}
 
 	g, err := workload.New(cfg)
@@ -86,6 +121,19 @@ func main() {
 	})
 	if err := closeLog(); err != nil {
 		log.Fatal(err)
+	}
+	if *truthOut != "" {
+		truths := g.GroundTruth()
+		data, err := json.MarshalIndent(truths, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*truthOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if !*quiet {
+			fmt.Printf("wrote %d ground-truth intervals to %s\n", len(truths), *truthOut)
+		}
 	}
 	if !*quiet {
 		fmt.Printf("wrote %d records (%d routes at %s, %d days) to %s in %v\n",

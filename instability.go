@@ -45,6 +45,10 @@ type Pipeline struct {
 
 	// Events, when set, observes every classified event.
 	Events func(core.Event)
+	// DayEnd, when set, observes every day barrier after the snapshot is
+	// taken — the hook point for window-finalizing consumers such as the
+	// anomaly detector (detect.Detector.Advance).
+	DayEnd func(core.Date)
 }
 
 // NewPipeline returns an empty pipeline.
@@ -78,6 +82,9 @@ func (p *Pipeline) Feed(rec collector.Record) core.Event {
 func (p *Pipeline) EndDay(date core.Date) {
 	p.Acc.EndDay(p.Classifier, date)
 	p.CensusByDay[date] = p.Table.TakeCensus()
+	if p.DayEnd != nil {
+		p.DayEnd(date)
+	}
 }
 
 // RunScenario generates the configured workload through the pipeline and

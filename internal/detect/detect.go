@@ -1,0 +1,688 @@
+// Package detect is a streaming anomaly detector over the classifier's
+// output: the taxonomy of "Internet Routing Instability" turned into a
+// real-time feature extractor, in the spirit of the novelty-detection
+// literature the ROADMAP cites (Lychev et al.'s destabilizing attacks,
+// Marais & Marwala's worm prediction from update-rate novelty).
+//
+// The detector buckets classified events into fixed windows on four
+// channels — per-(peer, prefix, class) fine keys, per-(peer, class),
+// global per-class volume, and a per-prefix origin channel (MOAS) — and
+// maintains an exponentially-decayed rate baseline (EWMA mean + variance)
+// per key. Each finalized window yields a novelty score
+//
+//	z = (count − mean) / max(σ, √mean, 1)
+//
+// and alerts open with hysteresis: a window must clear both the z-score
+// threshold ZOn and an absolute count floor to open, stays open while
+// windows clear ZOff, and closes after MaxGap silent windows. Baselines
+// freeze while a key is alerting, so an anomaly cannot teach the detector
+// that it is normal. The origin channel is pure novelty: a never-seen
+// origin announcing an established prefix (multi-origin conflict) alerts
+// regardless of rate.
+//
+// Concurrency contract: Add is safe from many goroutines (the parallel
+// pipeline's Events hook calls it from shard workers); it only performs
+// commutative window counting. Advance and Finish — which finalize
+// windows in ascending order with sorted keys and therefore produce a
+// deterministic alert stream — must be called from the feeder at barrier
+// points (day ends), where all Adds for the finalized span have
+// happened-before. Serial and parallel pipeline feeds of the same record
+// stream yield byte-identical alert sequences.
+package detect
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"instability/internal/bgp"
+	"instability/internal/collector"
+	"instability/internal/core"
+	"instability/internal/netaddr"
+	"instability/internal/obs"
+)
+
+// Channel names one of the detector's aggregation planes.
+type Channel uint8
+
+// Detection channels.
+const (
+	// ChanKey is the fine-grained (peer, prefix, class) rate channel,
+	// restricted to the forwarding classes (AADiff, WADiff) — the
+	// signature of targeted path churn such as poisoning.
+	ChanKey Channel = iota
+	// ChanPeer is the per-(peer, class) rate channel: leaks, session
+	// storms, and per-peer floods surface here.
+	ChanPeer
+	// ChanGlobal is the exchange-wide per-class volume channel: load
+	// coupling (worm propagation) surfaces here.
+	ChanGlobal
+	// ChanOrigin is the per-prefix origin-novelty (MOAS) channel: a
+	// prefix announced by an origin AS never previously seen for it.
+	ChanOrigin
+)
+
+// String names the channel.
+func (c Channel) String() string {
+	switch c {
+	case ChanKey:
+		return "key"
+	case ChanPeer:
+		return "peer"
+	case ChanGlobal:
+		return "global"
+	case ChanOrigin:
+		return "origin"
+	}
+	return "channel?"
+}
+
+// Key identifies one monitored series. For rate channels Peer/Prefix are
+// filled per the channel's granularity; for ChanOrigin, Peer holds the
+// conflicting origin AS and Prefix the contested prefix.
+type Key struct {
+	Chan   Channel
+	Peer   bgp.ASN
+	Prefix netaddr.Prefix
+	Class  core.Class
+}
+
+func keyLess(a, b Key) bool {
+	if a.Chan != b.Chan {
+		return a.Chan < b.Chan
+	}
+	if a.Peer != b.Peer {
+		return a.Peer < b.Peer
+	}
+	if c := a.Prefix.Compare(b.Prefix); c != 0 {
+		return c < 0
+	}
+	return a.Class < b.Class
+}
+
+// Config parameterizes a Detector. The zero value selects the defaults.
+type Config struct {
+	// Window is the counting-bucket width (default 10 minutes — the
+	// paper's fine-grained analysis granularity).
+	Window time.Duration
+	// HalfLife is the baseline memory in windows: an observation's
+	// weight halves every HalfLife windows (default 36, six hours at
+	// the default window).
+	HalfLife int
+	// ZOn and ZOff are the hysteresis thresholds on the novelty score
+	// (defaults 8 and 3).
+	ZOn, ZOff float64
+	// MinCountKey/Peer/Global are per-channel absolute count floors a
+	// window must also clear to open an alert (defaults 12, 24, 64).
+	// Pathological classes (AADup, WWDup) use twice the floor: they are
+	// the noisy bulk of a healthy-unhealthy 1996 stream.
+	MinCountKey, MinCountPeer, MinCountGlobal float64
+	// KeyPersistence is the number of consecutive anomalous windows a
+	// ChanKey or ChanPeer series needs before an alert opens (default 2).
+	// Legitimate flap episodes produce intense single-window bursts on one
+	// (peer, prefix) key — the unjittered-timer interleave artifact — and
+	// those bursts bleed into the per-peer aggregate too, while targeted
+	// attacks sustain the churn across windows. The global and origin
+	// channels stay immediate.
+	KeyPersistence int
+	// Warmup suppresses alerting until this much stream time has passed
+	// the first event (default 36h), so the initial table transfer and
+	// cold baselines cannot alert.
+	Warmup time.Duration
+	// MaxGap closes an alert after this many consecutive windows without
+	// an anomalous observation (default 3).
+	MaxGap int
+	// EstablishAge is how old a prefix must be before a never-seen
+	// origin for it is treated as a MOAS conflict rather than a
+	// legitimate new origination (default 24h).
+	EstablishAge time.Duration
+	// OnAlert, when set, observes every closed alert as it is emitted
+	// (alert-log persistence, live endpoints). Called from Advance or
+	// Finish, on the feeder goroutine, in deterministic order.
+	OnAlert func(Alert)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Minute
+	}
+	if c.HalfLife <= 0 {
+		c.HalfLife = 36
+	}
+	if c.ZOn == 0 {
+		c.ZOn = 8
+	}
+	if c.ZOff == 0 {
+		c.ZOff = 3
+	}
+	if c.MinCountKey == 0 {
+		c.MinCountKey = 12
+	}
+	if c.MinCountPeer == 0 {
+		c.MinCountPeer = 24
+	}
+	if c.MinCountGlobal == 0 {
+		c.MinCountGlobal = 64
+	}
+	if c.KeyPersistence <= 0 {
+		c.KeyPersistence = 2
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 36 * time.Hour
+	}
+	if c.MaxGap <= 0 {
+		c.MaxGap = 3
+	}
+	if c.EstablishAge == 0 {
+		c.EstablishAge = 24 * time.Hour
+	}
+	return c
+}
+
+// Alert is one detected anomaly episode: a run of anomalous windows on
+// one key, closed after MaxGap quiet windows (or at Finish).
+type Alert struct {
+	Key Key `json:"-"`
+
+	Channel string  `json:"channel"`
+	Peer    bgp.ASN `json:"peer,omitempty"`
+	Prefix  string  `json:"prefix,omitempty"`
+	Class   string  `json:"class,omitempty"`
+	// Start is the start of the first anomalous window; End the end of
+	// the last.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Windows is the number of anomalous windows in the episode.
+	Windows int `json:"windows"`
+	// Records is the event count summed over the anomalous windows.
+	Records int64 `json:"records"`
+	// Peak is the maximum novelty score (z for rate channels, the
+	// window observation count for origin conflicts).
+	Peak float64 `json:"peak"`
+	// Baseline is the key's EWMA rate per window when the alert opened.
+	Baseline float64 `json:"baseline"`
+}
+
+// windowPend accumulates one not-yet-finalized window's counts.
+type windowPend struct {
+	counts  map[Key]int64
+	origins map[originObs]int64
+}
+
+type originObs struct {
+	prefix netaddr.Prefix
+	origin bgp.ASN
+}
+
+type activeAlert struct {
+	startWin, lastWin int64
+	windows           int
+	records           int64
+	peak              float64
+	baseMean          float64
+}
+
+type baseline struct {
+	mean, varr float64
+	lastWin    int64
+	// run counts consecutive anomalous windows not yet promoted to an
+	// alert (the ChanKey persistence requirement).
+	run int
+	act *activeAlert
+}
+
+type originState struct {
+	firstWin int64
+	known    map[bgp.ASN]struct{}
+}
+
+// Detector metrics.
+var (
+	obsDetEvents = obs.Default().Counter("irtl_detect_events_total",
+		"Classified events observed by the anomaly detector.")
+	obsDetWindows = obs.Default().Counter("irtl_detect_windows_total",
+		"Detection windows finalized across all keys.")
+	obsDetActive = obs.Default().Gauge("irtl_detect_active_alerts",
+		"Alert episodes currently open.")
+	obsDetKeys = obs.Default().Gauge("irtl_detect_keys",
+		"Monitored (channel, peer, prefix, class) series with a baseline.")
+	obsDetAlerts = [...]*obs.Counter{
+		ChanKey:    obs.Default().Counter("irtl_detect_alerts_total", "Alert episodes emitted.", obs.L("channel", "key")),
+		ChanPeer:   obs.Default().Counter("irtl_detect_alerts_total", "Alert episodes emitted.", obs.L("channel", "peer")),
+		ChanGlobal: obs.Default().Counter("irtl_detect_alerts_total", "Alert episodes emitted.", obs.L("channel", "global")),
+		ChanOrigin: obs.Default().Counter("irtl_detect_alerts_total", "Alert episodes emitted.", obs.L("channel", "origin")),
+	}
+)
+
+// Detector is the streaming anomaly detector. See the package comment for
+// the concurrency contract.
+type Detector struct {
+	cfg     Config
+	winNs   int64
+	alpha   float64 // EWMA weight per window
+	estWins int64   // EstablishAge in windows
+	warmNs  int64
+
+	mu        sync.Mutex
+	pend      map[int64]*windowPend
+	base      map[Key]*baseline
+	alerting  map[Key]struct{}
+	origins   map[netaddr.Prefix]*originState
+	firstNano int64
+	haveFirst bool
+	finalized int64 // all windows < finalized are processed
+	haveFinal bool
+	alerts    []Alert
+}
+
+// New returns a detector with cfg (zero value = defaults).
+func New(cfg Config) *Detector {
+	cfg = cfg.withDefaults()
+	d := &Detector{
+		cfg:      cfg,
+		winNs:    cfg.Window.Nanoseconds(),
+		alpha:    1 - math.Exp(math.Ln2/float64(cfg.HalfLife)*-1),
+		warmNs:   cfg.Warmup.Nanoseconds(),
+		pend:     make(map[int64]*windowPend),
+		base:     make(map[Key]*baseline),
+		alerting: make(map[Key]struct{}),
+		origins:  make(map[netaddr.Prefix]*originState),
+	}
+	d.estWins = int64(cfg.EstablishAge / cfg.Window)
+	if d.estWins < 1 {
+		d.estWins = 1
+	}
+	return d
+}
+
+// Config returns the detector's resolved configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+func (d *Detector) windowOf(t time.Time) int64 {
+	ns := t.UnixNano()
+	w := ns / d.winNs
+	if ns < 0 && ns%d.winNs != 0 {
+		w--
+	}
+	return w
+}
+
+// Add observes one classified event. Safe for concurrent use.
+func (d *Detector) Add(ev core.Event) {
+	rec := ev.Record
+	switch rec.Type {
+	case collector.Announce, collector.Withdraw:
+	default:
+		return
+	}
+	w := d.windowOf(rec.Time)
+	ns := rec.Time.UnixNano()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	obsDetEvents.Inc()
+	if !d.haveFirst || ns < d.firstNano {
+		d.firstNano, d.haveFirst = ns, true
+	}
+	pd := d.pend[w]
+	if pd == nil {
+		pd = &windowPend{counts: make(map[Key]int64)}
+		d.pend[w] = pd
+	}
+	pd.counts[Key{Chan: ChanGlobal, Class: ev.Class}]++
+	pd.counts[Key{Chan: ChanPeer, Peer: rec.PeerAS, Class: ev.Class}]++
+	if ev.Class.IsForwarding() {
+		pd.counts[Key{Chan: ChanKey, Peer: rec.PeerAS, Prefix: rec.Prefix, Class: ev.Class}]++
+	}
+	if rec.Type == collector.Announce {
+		if origin, ok := rec.Attrs.Path.Origin(); ok {
+			if pd.origins == nil {
+				pd.origins = make(map[originObs]int64)
+			}
+			pd.origins[originObs{prefix: rec.Prefix, origin: origin}]++
+		}
+	}
+}
+
+// warmedAt reports whether windows starting at window w are past warmup.
+func (d *Detector) warmedAt(w int64) bool {
+	return d.haveFirst && w*d.winNs >= d.firstNano+d.warmNs
+}
+
+// minCount returns the absolute floor for (channel, class).
+func (d *Detector) minCount(ch Channel, cl core.Class) float64 {
+	var m float64
+	switch ch {
+	case ChanKey:
+		m = d.cfg.MinCountKey
+	case ChanPeer:
+		m = d.cfg.MinCountPeer
+	default:
+		m = d.cfg.MinCountGlobal
+	}
+	if cl.IsPathological() {
+		m *= 2
+	}
+	return m
+}
+
+// decayTo rolls b's baseline forward through zero-count windows up to (but
+// not including) window w. Frozen while an alert is active.
+func (d *Detector) decayTo(b *baseline, w int64) {
+	if b.act != nil {
+		b.lastWin = w
+		return
+	}
+	gap := w - b.lastWin
+	if gap <= 0 {
+		return
+	}
+	// Consecutive windows (gap 1) have no silence between them; only the
+	// gap-1 windows strictly between lastWin and w were zero-count.
+	silent := gap - 1
+	if silent > 0 {
+		b.run = 0 // a silent window breaks any anomalous run
+		if silent > 512 {
+			// Beyond 512 halvings-worth of silence the baseline is
+			// numerically dead; reset instead of looping.
+			b.mean, b.varr = 0, 0
+		} else {
+			for i := int64(0); i < silent; i++ {
+				diff := -b.mean
+				incr := d.alpha * diff
+				b.mean += incr
+				b.varr = (1 - d.alpha) * (b.varr + diff*incr)
+			}
+		}
+	}
+	b.lastWin = w
+}
+
+// observe folds count x at window w into b (no alert active).
+func (d *Detector) observe(b *baseline, w int64, x float64) {
+	// Winsorize: clamp the observation at mean+4σ before folding it in, so
+	// the decaying tail of a closed episode cannot inflate the variance
+	// enough to mask the next surge (robust-EWMA practice).
+	if cap := b.mean + 4*sigmaOf(b); x > cap {
+		x = cap
+	}
+	diff := x - b.mean
+	incr := d.alpha * diff
+	b.mean += incr
+	b.varr = (1 - d.alpha) * (b.varr + diff*incr)
+	b.lastWin = w
+}
+
+// sigmaOf is the scoring deviation: sample σ floored by the Poisson √mean
+// and an absolute floor of one record per window.
+func sigmaOf(b *baseline) float64 {
+	sigma := math.Sqrt(b.varr)
+	if f := math.Sqrt(b.mean); f > sigma {
+		sigma = f
+	}
+	if sigma < 1 {
+		sigma = 1
+	}
+	return sigma
+}
+
+// score computes the novelty score of count x against baseline b.
+func score(b *baseline, x float64) float64 {
+	return (x - b.mean) / sigmaOf(b)
+}
+
+// evalCount processes one finalized (key, window, count) observation.
+// Caller holds d.mu.
+func (d *Detector) evalCount(k Key, w int64, x float64) {
+	b := d.base[k]
+	if b == nil {
+		b = &baseline{lastWin: w}
+		d.base[k] = b
+	}
+	d.decayTo(b, w)
+	z := score(b, x)
+	if act := b.act; act != nil {
+		if z >= d.cfg.ZOff {
+			act.lastWin = w
+			act.windows++
+			act.records += int64(x)
+			if z > act.peak {
+				act.peak = z
+			}
+			return
+		}
+		d.closeAlert(k, b)
+		// The closing observation is ordinary traffic; learn it.
+	}
+	if z >= d.cfg.ZOn && x >= d.minCount(k.Chan, k.Class) && d.warmedAt(w) {
+		need := 1
+		if k.Chan == ChanKey || k.Chan == ChanPeer {
+			need = d.cfg.KeyPersistence
+		}
+		b.run++
+		b.lastWin = w // anomalous precursors freeze the baseline too
+		if b.run < need {
+			return
+		}
+		b.run = 0
+		b.act = &activeAlert{
+			startWin: w, lastWin: w,
+			windows: 1, records: int64(x),
+			peak: z, baseMean: b.mean,
+		}
+		d.alerting[k] = struct{}{}
+		return
+	}
+	b.run = 0
+	d.observe(b, w, x)
+}
+
+// evalOrigin processes one finalized (prefix, origin) sighting: the MOAS
+// novelty rule. Caller holds d.mu.
+func (d *Detector) evalOrigin(ob originObs, w int64, n int64) {
+	os := d.origins[ob.prefix]
+	if os == nil {
+		d.origins[ob.prefix] = &originState{
+			firstWin: w,
+			known:    map[bgp.ASN]struct{}{ob.origin: {}},
+		}
+		return
+	}
+	if _, ok := os.known[ob.origin]; ok {
+		return
+	}
+	if w-os.firstWin < d.estWins || !d.warmedAt(w) {
+		// Young prefix or cold detector: accept the origin as
+		// legitimate (new originations, initial transfer).
+		os.known[ob.origin] = struct{}{}
+		return
+	}
+	// A never-seen origin for an established prefix. The origin is NOT
+	// added to the known set: while the conflict persists the alert
+	// extends, and a recurrence after closure re-alerts.
+	k := Key{Chan: ChanOrigin, Peer: ob.origin, Prefix: ob.prefix}
+	b := d.base[k]
+	if b == nil {
+		b = &baseline{lastWin: w}
+		d.base[k] = b
+	}
+	if act := b.act; act != nil {
+		act.lastWin = w
+		act.windows++
+		act.records += n
+		if float64(n) > act.peak {
+			act.peak = float64(n)
+		}
+		return
+	}
+	b.act = &activeAlert{
+		startWin: w, lastWin: w,
+		windows: 1, records: n, peak: float64(n),
+	}
+	b.lastWin = w
+	d.alerting[k] = struct{}{}
+}
+
+// closeAlert emits k's active episode. Caller holds d.mu.
+func (d *Detector) closeAlert(k Key, b *baseline) {
+	act := b.act
+	b.act = nil
+	b.lastWin = act.lastWin
+	delete(d.alerting, k)
+
+	a := Alert{
+		Key:      k,
+		Channel:  k.Chan.String(),
+		Peer:     k.Peer,
+		Start:    time.Unix(0, act.startWin*d.winNs).UTC(),
+		End:      time.Unix(0, (act.lastWin+1)*d.winNs).UTC(),
+		Windows:  act.windows,
+		Records:  act.records,
+		Peak:     act.peak,
+		Baseline: act.baseMean,
+	}
+	if k.Prefix.IsValid() && k.Prefix != (netaddr.Prefix{}) {
+		a.Prefix = k.Prefix.String()
+	}
+	if k.Chan != ChanOrigin {
+		a.Class = k.Class.String()
+	}
+	d.alerts = append(d.alerts, a)
+	obsDetAlerts[k.Chan].Inc()
+	obsDetActive.SetInt(int64(len(d.alerting)))
+	sp := obs.StartSpan("detect_alert")
+	sp.Add(act.records)
+	sp.End()
+	if d.cfg.OnAlert != nil {
+		d.cfg.OnAlert(a)
+	}
+}
+
+// Advance finalizes every window that ends at or before now, evaluating
+// pending counts in deterministic order and closing alerts whose keys
+// have been quiet for MaxGap windows. Call from the feeder at barriers
+// (e.g. day ends): all Adds for the finalized span must have completed.
+func (d *Detector) Advance(now time.Time) {
+	target := d.windowOf(now.Add(1)) // windows strictly before this are complete
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.advanceLocked(target)
+}
+
+func (d *Detector) advanceLocked(target int64) {
+	if d.haveFinal && target <= d.finalized {
+		return
+	}
+	wins := make([]int64, 0, len(d.pend))
+	for w := range d.pend {
+		if w < target {
+			wins = append(wins, w)
+		}
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i] < wins[j] })
+	keys := make([]Key, 0, 64)
+	obsList := make([]originObs, 0, 16)
+	for _, w := range wins {
+		pd := d.pend[w]
+		delete(d.pend, w)
+		keys = keys[:0]
+		for k := range pd.counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+		for _, k := range keys {
+			d.evalCount(k, w, float64(pd.counts[k]))
+		}
+		obsList = obsList[:0]
+		for ob := range pd.origins {
+			obsList = append(obsList, ob)
+		}
+		sort.Slice(obsList, func(i, j int) bool {
+			a, b := obsList[i], obsList[j]
+			if c := a.prefix.Compare(b.prefix); c != 0 {
+				return c < 0
+			}
+			return a.origin < b.origin
+		})
+		for _, ob := range obsList {
+			d.evalOrigin(ob, w, pd.origins[ob])
+		}
+		obsDetWindows.Inc()
+		// Sweep after each window so an episode closes MaxGap quiet
+		// windows after its last anomalous one, however coarse the
+		// Advance cadence — a later burst must not be bridged into it.
+		d.sweepLocked(w+1, int64(d.cfg.MaxGap))
+	}
+	// Close alerts that have gone quiet: MaxGap fully-finalized windows
+	// with no anomalous observation.
+	d.sweepLocked(target, int64(d.cfg.MaxGap))
+	d.finalized, d.haveFinal = target, true
+	obsDetKeys.SetInt(int64(len(d.base)))
+	obsDetActive.SetInt(int64(len(d.alerting)))
+}
+
+// sweepLocked closes alerting keys quiet for at least gap windows before
+// target.
+func (d *Detector) sweepLocked(target, gap int64) {
+	if len(d.alerting) == 0 {
+		return
+	}
+	stale := make([]Key, 0, len(d.alerting))
+	for k := range d.alerting {
+		if b := d.base[k]; b.act != nil && b.act.lastWin+gap < target {
+			stale = append(stale, k)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return keyLess(stale[i], stale[j]) })
+	for _, k := range stale {
+		d.closeAlert(k, d.base[k])
+	}
+}
+
+// Finish finalizes every pending window and closes every open alert,
+// returning the complete alert list. The detector remains usable for
+// reads but should not be fed further.
+func (d *Detector) Finish() []Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var target int64
+	for w := range d.pend {
+		if w+1 > target {
+			target = w + 1
+		}
+	}
+	if d.haveFinal && d.finalized > target {
+		target = d.finalized
+	}
+	d.advanceLocked(target)
+	d.sweepLocked(target, -1<<30) // close everything still open
+	obsDetActive.SetInt(0)
+	return d.alertsLocked()
+}
+
+// Alerts returns the alerts emitted so far, sorted by start time then key.
+func (d *Detector) Alerts() []Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.alertsLocked()
+}
+
+func (d *Detector) alertsLocked() []Alert {
+	out := make([]Alert, len(d.alerts))
+	copy(out, d.alerts)
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return keyLess(out[i].Key, out[j].Key)
+	})
+	return out
+}
+
+// ActiveAlerts returns the number of currently open episodes.
+func (d *Detector) ActiveAlerts() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.alerting)
+}

@@ -1,0 +1,168 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"instability/internal/bgp"
+)
+
+// Truth is one labeled ground-truth anomaly interval, emitted by the
+// workload generator's adversarial scenarios.
+type Truth struct {
+	// Scenario names the injected scenario ("hijack", "leak", "poison",
+	// "storm", "worm").
+	Scenario string    `json:"scenario"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end"`
+	// Peer is the adversarial AS (zero for global scenarios).
+	Peer bgp.ASN `json:"peer,omitempty"`
+	// Prefixes is the number of prefixes the episode touched, when
+	// bounded (hijack, leak).
+	Prefixes int `json:"prefixes,omitempty"`
+}
+
+// ScenarioScore is the per-scenario slice of an evaluation.
+type ScenarioScore struct {
+	Scenario string `json:"scenario"`
+	// Truths is the number of injected episodes; Detected how many had
+	// at least one overlapping alert.
+	Truths   int `json:"truths"`
+	Detected int `json:"detected"`
+	// Alerts is the number of alerts attributed to this scenario.
+	Alerts int `json:"alerts"`
+	// Recall is Detected/Truths.
+	Recall float64 `json:"recall"`
+	// MeanLatency and MaxLatency measure, over detected episodes, the
+	// delay from episode start to the earliest overlapping alert's
+	// start (clamped at zero).
+	MeanLatency time.Duration `json:"mean_latency"`
+	MaxLatency  time.Duration `json:"max_latency"`
+}
+
+// Score is the result of matching an alert stream against ground truth.
+type Score struct {
+	Alerts         int     `json:"alerts"`
+	TruePositives  int     `json:"true_positives"`
+	FalsePositives int     `json:"false_positives"`
+	Precision      float64 `json:"precision"`
+	Recall         float64 `json:"recall"`
+	// MeanLatency averages detection latency over all detected episodes.
+	MeanLatency time.Duration   `json:"mean_latency"`
+	Scenarios   []ScenarioScore `json:"scenarios"`
+}
+
+// String renders the score for CLI output.
+func (s Score) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alerts=%d tp=%d fp=%d precision=%.3f recall=%.3f mean_latency=%s",
+		s.Alerts, s.TruePositives, s.FalsePositives, s.Precision, s.Recall, s.MeanLatency)
+	for _, sc := range s.Scenarios {
+		fmt.Fprintf(&b, "\n  %-8s truths=%d detected=%d alerts=%d recall=%.3f latency(mean=%s max=%s)",
+			sc.Scenario, sc.Truths, sc.Detected, sc.Alerts, sc.Recall, sc.MeanLatency, sc.MaxLatency)
+	}
+	return b.String()
+}
+
+// Evaluate matches alerts against truth intervals: an alert is a true
+// positive when it overlaps a truth interval widened by slack on both
+// sides; an episode is detected when at least one alert overlaps it.
+// Precision is over alerts, recall over truth episodes, and detection
+// latency is the delay from episode start to its earliest alert.
+func Evaluate(alerts []Alert, truths []Truth, slack time.Duration) Score {
+	sc := Score{Alerts: len(alerts)}
+	type agg struct {
+		score     ScenarioScore
+		latencies []time.Duration
+	}
+	byScenario := make(map[string]*agg)
+	order := make([]string, 0, 8)
+	for _, t := range truths {
+		a := byScenario[t.Scenario]
+		if a == nil {
+			a = &agg{score: ScenarioScore{Scenario: t.Scenario}}
+			byScenario[t.Scenario] = a
+			order = append(order, t.Scenario)
+		}
+		a.score.Truths++
+	}
+
+	overlaps := func(al Alert, t Truth) bool {
+		return al.Start.Before(t.End.Add(slack)) && al.End.After(t.Start.Add(-slack))
+	}
+
+	// Alert attribution: each alert matches the earliest-starting truth
+	// interval it overlaps.
+	matched := make([]bool, len(truths))
+	earliest := make([]time.Time, len(truths))
+	for _, al := range alerts {
+		best := -1
+		for i, t := range truths {
+			if !overlaps(al, t) {
+				continue
+			}
+			if best == -1 || t.Start.Before(truths[best].Start) {
+				best = i
+			}
+		}
+		if best == -1 {
+			sc.FalsePositives++
+			continue
+		}
+		sc.TruePositives++
+		byScenario[truths[best].Scenario].score.Alerts++
+		if !matched[best] || al.Start.Before(earliest[best]) {
+			earliest[best] = al.Start
+		}
+		matched[best] = true
+	}
+
+	var totalLat time.Duration
+	var detected int
+	for i, t := range truths {
+		if !matched[i] {
+			continue
+		}
+		detected++
+		lat := earliest[i].Sub(t.Start)
+		if lat < 0 {
+			lat = 0
+		}
+		totalLat += lat
+		a := byScenario[t.Scenario]
+		a.score.Detected++
+		a.latencies = append(a.latencies, lat)
+	}
+
+	if sc.Alerts > 0 {
+		sc.Precision = float64(sc.TruePositives) / float64(sc.Alerts)
+	}
+	if len(truths) > 0 {
+		sc.Recall = float64(detected) / float64(len(truths))
+	}
+	if detected > 0 {
+		sc.MeanLatency = totalLat / time.Duration(detected)
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		a := byScenario[name]
+		if a.score.Truths > 0 {
+			a.score.Recall = float64(a.score.Detected) / float64(a.score.Truths)
+		}
+		var sum, max time.Duration
+		for _, l := range a.latencies {
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		if n := len(a.latencies); n > 0 {
+			a.score.MeanLatency = sum / time.Duration(n)
+			a.score.MaxLatency = max
+		}
+		sc.Scenarios = append(sc.Scenarios, a.score)
+	}
+	return sc
+}

@@ -51,6 +51,9 @@ type Sim struct {
 	Links   []*router.Link
 	Point   *exchange.Point
 	CSUs    []*router.CSU
+	// ClientLinks maps each exchange peer to its access link into the route
+	// server — the circuit the scripted session-reset storm bounces.
+	ClientLinks map[bgp.ASN]*router.Link
 
 	cfg Config
 
@@ -139,8 +142,11 @@ func Build(cfg Config) (*Sim, error) {
 		CollectorOnly: true, // pure measurement tap, as in the study
 		Sink:          cfg.Sink,
 	})
+	s.ClientLinks = make(map[bgp.ASN]*router.Link, len(ep.Peers))
 	for _, peerAS := range ep.Peers {
-		s.Links = append(s.Links, s.Point.AttachClient(s.Routers[peerAS], cfg.LinkDelay))
+		l := s.Point.AttachClient(s.Routers[peerAS], cfg.LinkDelay)
+		s.Links = append(s.Links, l)
+		s.ClientLinks[peerAS] = l
 	}
 	return s, nil
 }
@@ -196,6 +202,35 @@ func (s *Sim) FlapPrefix(asn bgp.ASN, prefix netaddr.Prefix, period time.Duratio
 		r.WithdrawOrigin(prefix)
 		s.Events.RunFor(period)
 		r.Originate(prefix, bgp.OriginIGP)
+		s.Events.RunFor(period)
+	}
+	s.publish()
+}
+
+// Hijack scripts a prefix hijack at full protocol fidelity: the attacker
+// originates a prefix it does not own, so the route server sees a second
+// origin AS for an established route (the MOAS conflict the detector's
+// origin channel alarms on). After hold, the attacker withdraws and the
+// legitimate route re-converges.
+func (s *Sim) Hijack(attacker bgp.ASN, prefix netaddr.Prefix, hold time.Duration) {
+	r := s.Routers[attacker]
+	r.Originate(prefix, bgp.OriginIGP)
+	s.Events.RunFor(hold)
+	r.WithdrawOrigin(prefix)
+	s.publish()
+}
+
+// SessionResetStorm bounces one exchange peer's access circuit: cycles
+// outages of the given length, period apart. Each reset replays the peer's
+// whole table through the route server — the WADup/AADup burst signature of
+// a flapping session, scripted instead of emergent.
+func (s *Sim) SessionResetStorm(peer bgp.ASN, cycles int, outage, period time.Duration) {
+	l := s.ClientLinks[peer]
+	if l == nil {
+		return
+	}
+	for i := 0; i < cycles; i++ {
+		l.Flap(outage)
 		s.Events.RunFor(period)
 	}
 	s.publish()

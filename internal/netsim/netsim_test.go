@@ -4,8 +4,10 @@ import (
 	"testing"
 	"time"
 
+	"instability/internal/bgp"
 	"instability/internal/collector"
 	"instability/internal/core"
+	"instability/internal/netaddr"
 	"instability/internal/topology"
 )
 
@@ -144,5 +146,81 @@ func TestDeterministicBuild(t *testing.T) {
 	}
 	if s1.Topo.TotalPrefixes() != s2.Topo.TotalPrefixes() {
 		t.Fatal("topologies differ")
+	}
+}
+
+// TestScriptedHijackShowsMOAS pins the scripted-adversary signature: a
+// hijack originated by an exchange peer surfaces at the collector as a
+// second origin AS for an already-established prefix (the MOAS conflict the
+// detector's origin channel alarms on), and withdrawing ends it.
+func TestScriptedHijackShowsMOAS(t *testing.T) {
+	origins := make(map[string]map[bgp.ASN]bool)
+	s := build(t, 0, func(r collector.Record) {
+		if r.Type != collector.Announce {
+			return
+		}
+		key := r.Prefix.String()
+		if origins[key] == nil {
+			origins[key] = make(map[bgp.ASN]bool)
+		}
+		if o, ok := r.Attrs.Path.Origin(); ok {
+			origins[key][o] = true
+		}
+	})
+	// Victim: a customer prefix already converged at the route server.
+	// Attacker: an exchange peer that is not the victim's origin.
+	var victim netaddr.Prefix
+	var victimAS bgp.ASN
+	for _, asn := range s.Topo.Order {
+		a := s.Topo.ASes[asn]
+		if a.Tier == topology.Customer && len(a.Prefixes) > 0 && len(origins[a.Prefixes[0].String()]) == 1 {
+			victim, victimAS = a.Prefixes[0], asn
+			break
+		}
+	}
+	if !victim.IsValid() {
+		t.Fatal("no converged single-origin customer prefix")
+	}
+	var attacker bgp.ASN
+	for _, p := range s.Topo.Exchange("Mae-East").Peers {
+		if p != victimAS {
+			attacker = p
+			break
+		}
+	}
+	s.Hijack(attacker, victim, 10*time.Minute)
+	s.Run(5 * time.Minute)
+	got := origins[victim.String()]
+	if !got[attacker] {
+		t.Fatalf("attacker AS%d origin never seen for %s (origins %v)", attacker, victim, got)
+	}
+	if len(got) < 2 {
+		t.Fatalf("no MOAS conflict: origins %v", got)
+	}
+}
+
+// TestScriptedSessionResetStorm pins the storm signature: bouncing one
+// peer's access circuit replays its table through the route server as
+// withdraw/re-announce bursts — the instability classes spike while the
+// storm runs.
+func TestScriptedSessionResetStorm(t *testing.T) {
+	cls := core.NewClassifier()
+	var counts [core.NumClasses]int
+	s := build(t, 0, func(r collector.Record) {
+		counts[cls.Classify(r).Class]++
+	})
+	peer := s.Topo.Exchange("Mae-East").Peers[0]
+	before := counts
+	s.SessionResetStorm(peer, 4, 45*time.Second, 4*time.Minute)
+	s.Run(10 * time.Minute)
+	burst := 0
+	for _, c := range []core.Class{core.WADup, core.WADiff, core.AADup, core.WWDup} {
+		burst += counts[c] - before[c]
+	}
+	if burst < 10 {
+		t.Fatalf("session-reset storm produced only %d pathological/instability updates", burst)
+	}
+	if !s.ClientLinks[peer].Established() {
+		t.Fatal("peer session did not re-establish after the storm")
 	}
 }

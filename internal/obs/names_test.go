@@ -10,6 +10,7 @@ import (
 	// Imported for their package-level metric registration side effects:
 	// the names below are part of the operational interface (dashboards
 	// and alerts key on them), so their existence is pinned here.
+	_ "instability/internal/detect"
 	_ "instability/internal/serve"
 	_ "instability/internal/session"
 	_ "instability/internal/store"
@@ -77,6 +78,12 @@ func TestMetricNamesPublished(t *testing.T) {
 		"irtl_store_blockcache_entries",
 		"irtl_store_mmap_segments",
 		"irtl_store_mmap_failures_total",
+		// Anomaly detector: event intake, window finalization, alerting.
+		"irtl_detect_events_total",
+		"irtl_detect_windows_total",
+		"irtl_detect_active_alerts",
+		"irtl_detect_keys",
+		"irtl_detect_alerts_total",
 		// Runtime gauges published by the background collector.
 		"irtl_runtime_goroutines",
 		"irtl_runtime_heap_bytes",

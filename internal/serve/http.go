@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"instability/internal/detect"
 	"instability/internal/obs"
 	"instability/internal/store"
 )
@@ -43,6 +44,7 @@ func (s *Server) httpHandler() http.Handler {
 	mux.HandleFunc("/v1/records", s.handleRecords)
 	mux.HandleFunc("/v1/aggregate", s.handleAggregate)
 	mux.HandleFunc("/v1/statz", s.handleStatz)
+	mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -317,14 +319,14 @@ func validKind(kind string) bool {
 
 // Statz is the /v1/statz document.
 type Statz struct {
-	Store          store.Stats    `json:"store"`
-	Generation     uint64         `json:"generation"`
-	ActiveSessions int64          `json:"active_sessions"`
-	QueueDepth     int64          `json:"queue_depth"`
-	CacheHits      uint64         `json:"cache_hits"`
-	CacheMisses    uint64         `json:"cache_misses"`
-	CacheEvictions uint64         `json:"cache_evictions"`
-	CacheBytes     int64          `json:"cache_bytes"`
+	Store          store.Stats `json:"store"`
+	Generation     uint64      `json:"generation"`
+	ActiveSessions int64       `json:"active_sessions"`
+	QueueDepth     int64       `json:"queue_depth"`
+	CacheHits      uint64      `json:"cache_hits"`
+	CacheMisses    uint64      `json:"cache_misses"`
+	CacheEvictions uint64      `json:"cache_evictions"`
+	CacheBytes     int64       `json:"cache_bytes"`
 	// BlockCache is the store's shared decompressed-block cache (distinct
 	// from the aggregate result cache the fields above describe).
 	BlockCache    store.BlockCacheStats `json:"block_cache"`
@@ -347,6 +349,49 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		BlockCache:     st.BlockCache,
 		Quotas:         quotasString(s.opts.Quotas, s.opts.DefaultQuota),
 		RecentQueries:  s.profiles.recent(),
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(doc)
+}
+
+// AlertsDoc is the /v1/alerts response: the detector's anomaly episodes,
+// live ones first when a live detector is wired, then whatever the alert
+// sidecar log holds.
+type AlertsDoc struct {
+	Alerts []detect.Alert `json:"alerts"`
+	// Source notes where the alerts came from: "live", "log", "live+log",
+	// or "none" when the server has no detector wired at all.
+	Source string `json:"source"`
+}
+
+// handleAlerts serves the detector's alert stream: the live detector
+// callback when the serving process hosts one, the alert sidecar log when an
+// ingest process wrote one, or both.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	doc := AlertsDoc{Alerts: []detect.Alert{}, Source: "none"}
+	if s.opts.Alerts != nil {
+		doc.Alerts = append(doc.Alerts, s.opts.Alerts()...)
+		doc.Source = "live"
+	}
+	if s.opts.AlertLog != "" {
+		n, err := store.ReadSidecarLog(s.opts.AlertLog, func(payload []byte) error {
+			var a detect.Alert
+			if err := json.Unmarshal(payload, &a); err != nil {
+				return err
+			}
+			doc.Alerts = append(doc.Alerts, a)
+			return nil
+		})
+		if err != nil {
+			http.Error(w, fmt.Sprintf("alert log: %v", err), http.StatusInternalServerError)
+			return
+		}
+		_ = n
+		if doc.Source == "live" {
+			doc.Source = "live+log"
+		} else {
+			doc.Source = "log"
+		}
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	json.NewEncoder(w).Encode(doc)

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"instability/internal/collector"
+	"instability/internal/detect"
 	"instability/internal/obs"
 	"instability/internal/store"
 )
@@ -70,6 +71,17 @@ type Options struct {
 	SlowQuery time.Duration
 	// SlowQueryLog receives the NDJSON lines. Nil means os.Stderr.
 	SlowQueryLog io.Writer
+	// FrameTimeout is the binary protocol's read idle limit: the deadline is
+	// pushed out on every read that makes progress, so a slow-but-live
+	// client can take arbitrarily long to deliver a request frame while a
+	// stalled one is disconnected after this much silence. Default 30s.
+	FrameTimeout time.Duration
+	// AlertLog, when set, is appended to /v1/alerts responses: the path of a
+	// detector alert sidecar log written by the ingest process.
+	AlertLog string
+	// Alerts, when set, serves /v1/alerts from this callback instead of (or
+	// layered over) AlertLog — the live detector's alert list.
+	Alerts func() []detect.Alert
 
 	// now overrides the clock for token-bucket tests.
 	now func() time.Time
@@ -93,6 +105,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 5 * time.Second
+	}
+	if o.FrameTimeout <= 0 {
+		o.FrameTimeout = 30 * time.Second
 	}
 	return o
 }
@@ -187,15 +202,41 @@ func (s *Server) CacheCounts() (hits, misses, evictions uint64, bytes int64) {
 	return s.cache.counts()
 }
 
+// frameConn applies an idle deadline to reads: while armed, every Read
+// pushes the conn's read deadline out by timeout, so a slow-but-live client
+// may take arbitrarily long to deliver a frame — only timeout of complete
+// silence disconnects it. Disarmed it is a passthrough. It is used from the
+// single goroutine that owns the connection's read side.
+type frameConn struct {
+	net.Conn
+	timeout time.Duration // 0 = disarmed
+}
+
+func (fc *frameConn) Read(p []byte) (int, error) {
+	if fc.timeout > 0 {
+		fc.Conn.SetReadDeadline(time.Now().Add(fc.timeout))
+	}
+	return fc.Conn.Read(p)
+}
+
+func (fc *frameConn) arm(d time.Duration) { fc.timeout = d }
+
+func (fc *frameConn) disarm() {
+	fc.timeout = 0
+	fc.Conn.SetReadDeadline(time.Time{})
+}
+
 // route sniffs one accepted connection and dispatches it.
 func (s *Server) route(conn net.Conn) {
 	defer s.wg.Done()
 	s.track(conn, true)
 
-	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	br := bufio.NewReaderSize(conn, 1<<15)
+	// The preamble gets the idle-deadline treatment too: each read resets
+	// the clock, a wholly silent client is cut after 10s.
+	fc := &frameConn{Conn: conn}
+	fc.arm(10 * time.Second)
+	br := bufio.NewReaderSize(fc, 1<<15)
 	preamble, err := br.Peek(len(protoMagic) + 1)
-	conn.SetReadDeadline(time.Time{})
 	if err != nil {
 		s.track(conn, false)
 		conn.Close()
@@ -211,9 +252,11 @@ func (s *Server) route(conn net.Conn) {
 				Msg: fmt.Sprintf("unsupported protocol version %d", ver)})
 			return
 		}
-		s.handleBinary(conn, br, ver)
+		fc.arm(s.opts.FrameTimeout)
+		s.handleBinary(fc, br, ver)
 		return
 	}
+	fc.disarm()
 	// HTTP: hand the connection (with the sniffed bytes still unread) to
 	// the embedded http.Server, which owns its lifecycle from here.
 	s.track(conn, false)
@@ -247,10 +290,12 @@ func (s *Server) generation() uint64 {
 // streamed response. ver is the negotiated protocol version; v2 requests
 // carry a trace prefix the handler joins, so the remote caller's query,
 // admission wait, scan, and encode appear as one tree.
-func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader, ver byte) {
-	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+func (s *Server) handleBinary(conn *frameConn, br *bufio.Reader, ver byte) {
+	// The idle deadline armed by route covers the request frame: every read
+	// that delivers bytes pushes it out, so only a stalled client times out,
+	// however slowly a live one trickles.
 	typ, payload, err := readFrame(br)
-	conn.SetReadDeadline(time.Time{})
+	conn.disarm()
 	if err != nil || typ != frameRequest {
 		writeJSONFrame(conn, frameError, wireError{Code: codeBadQuery, Msg: "expected request frame"})
 		return

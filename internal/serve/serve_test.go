@@ -2,6 +2,8 @@ package serve
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -489,4 +491,84 @@ func BenchmarkServeQuery(b *testing.B) {
 	}
 	b.Run("cold", func(b *testing.B) { run(b, 0) })
 	b.Run("cached", func(b *testing.B) { run(b, 1<<20) })
+}
+
+// TestSlowClientTrickleSurvives pins the idle-deadline fix: a client that
+// trickles its request one byte at a time — total transfer time far past the
+// old fixed 10s/30s read deadlines, scaled down here — keeps the connection
+// alive, because every byte of progress resets the clock.
+func TestSlowClientTrickleSurvives(t *testing.T) {
+	st := newTestStore(t, 30, store.Options{})
+	srv := startServer(t, Options{Store: st, FrameTimeout: 250 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	payload, err := json.Marshal(wireRequest{Query: QuerySpec{Limit: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte(protoMagic)
+	msg = append(msg, protoVersionV1)
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = frameRequest
+	msg = append(msg, hdr[:]...)
+	msg = append(msg, payload...)
+
+	// One byte per write, each gap a healthy fraction of FrameTimeout: the
+	// whole request takes several multiples of the timeout to arrive.
+	for _, b := range msg {
+		if _, err := conn.Write([]byte{b}); err != nil {
+			t.Fatalf("trickle write: %v", err)
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+
+	typ, _, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("trickling client was disconnected: %v", err)
+	}
+	if typ == frameError {
+		t.Fatalf("got error frame, want a result stream")
+	}
+}
+
+// TestStalledClientDisconnects is the other half of the contract: a client
+// that goes silent mid-frame is cut off once FrameTimeout of zero progress
+// elapses, instead of pinning a connection slot forever.
+func TestStalledClientDisconnects(t *testing.T) {
+	st := newTestStore(t, 30, store.Options{})
+	srv := startServer(t, Options{Store: st, FrameTimeout: 200 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Preamble plus a frame header promising bytes that never come.
+	msg := []byte(protoMagic)
+	msg = append(msg, protoVersionV1)
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], 64)
+	hdr[4] = frameRequest
+	msg = append(msg, hdr[:]...)
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	t0 := time.Now()
+	for {
+		if _, _, err := readFrame(conn); err != nil {
+			break // server closed (or error frame then close) — both end here
+		}
+	}
+	if d := time.Since(t0); d > 3*time.Second {
+		t.Fatalf("stalled client still connected after %v", d)
+	}
 }

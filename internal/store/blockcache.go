@@ -42,11 +42,16 @@ type cacheEntry struct {
 	cb  *colBlock
 }
 
-// cacheFlight is one in-progress load; waiters block on done.
+// cacheFlight is one in-progress load; waiters block on done. dropped is set
+// (under the cache mutex) when dropSegment retires the flight's segment
+// mid-load: the result is still served to every waiter but must not be
+// inserted — the segment is gone from the store, so the entry could never be
+// hit again and would squat on budget until LRU pressure happens to evict it.
 type cacheFlight struct {
-	done chan struct{}
-	cb   *colBlock
-	err  error
+	done    chan struct{}
+	cb      *colBlock
+	err     error
+	dropped bool
 }
 
 func newBlockCache(budget int64) *blockCache {
@@ -93,7 +98,7 @@ func (c *blockCache) getOrLoad(key blockKey, load func() (*colBlock, error)) (*c
 
 	c.mu.Lock()
 	delete(c.flights, key)
-	if err == nil {
+	if err == nil && !fl.dropped {
 		c.insertLocked(key, cb)
 	}
 	c.mu.Unlock()
@@ -147,6 +152,13 @@ func (c *blockCache) dropSegment(fp uint64) {
 		next = el.Next()
 		if el.Value.(*cacheEntry).key.seg == fp {
 			c.removeLocked(el)
+		}
+	}
+	// Loads for this segment still in flight must not insert on completion;
+	// their waiters are served, but the entry would be unreachable.
+	for key, fl := range c.flights {
+		if key.seg == fp {
+			fl.dropped = true
 		}
 	}
 	c.publishLocked()

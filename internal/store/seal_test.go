@@ -11,8 +11,10 @@ import (
 	"testing"
 	"time"
 
+	"instability/internal/bgp"
 	"instability/internal/collector"
 	"instability/internal/faults"
+	"instability/internal/netaddr"
 )
 
 // readSegmentFiles returns the raw bytes of every sealed segment in dir,
@@ -445,4 +447,155 @@ func runBackgroundCrashScript(t *testing.T, dir string, opts Options) (acked, ap
 	}
 	acked = appended
 	return acked, appended
+}
+
+// TestCloseDuringParkedAppends pins the backpressure/Close contract:
+// appenders parked at the 2x auto-seal threshold must always wake when a
+// concurrent Close sweeps the store, must not hand Close fresh seal batches
+// to join (under sustained appends that livelocks the close), and every
+// append acked before the close must be sealed and readable after reopen.
+func TestCloseDuringParkedAppends(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.AutoSealRecords = 64 // tiny threshold so appenders park constantly
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.Writer()
+	const workers = 8
+	acked := make([]int64, workers)
+	var wg sync.WaitGroup
+	base := time.Date(1996, 3, 1, 0, 0, 0, 0, time.UTC)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Unbounded supply: keep appending until Close cuts us off.
+			for i := 0; ; i++ {
+				prefix := netaddr.MustPrefix(netaddr.Addr(0xc6000000|uint32(g)<<16|uint32(i%200)<<8), 24)
+				rec := mkRecord(base.Add(time.Duration(i)*time.Millisecond), bgp.ASN(100+g), bgp.ASN(7000+g), prefix, true)
+				if err := w.Append(rec); err != nil {
+					if !strings.Contains(err.Error(), "after Close") {
+						t.Errorf("append: %v", err)
+					}
+					return
+				}
+				acked[g]++
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond) // let the backpressure path engage
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close did not return under sustained parked appends")
+	}
+	wg.Wait()
+	var total int64
+	for _, n := range acked {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no appends acked before Close")
+	}
+	s2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats().Records; got != total {
+		t.Fatalf("reopened store has %d sealed records, want %d acked", got, total)
+	}
+}
+
+// sealFaultFS fails segment creates, optionally holding the first one until
+// released — a persistently failing data disk under a healthy WAL.
+type sealFaultFS struct {
+	faults.FS
+	mu      sync.Mutex
+	gate    chan struct{} // first create blocks here until closed
+	entered chan struct{} // closed when the first create arrives
+}
+
+func (f *sealFaultFS) Create(name string) (faults.File, error) {
+	if !strings.Contains(filepath.Base(name), segPrefix) {
+		return f.FS.Create(name)
+	}
+	f.mu.Lock()
+	gate, entered := f.gate, f.entered
+	f.gate, f.entered = nil, nil
+	f.mu.Unlock()
+	if entered != nil {
+		close(entered)
+	}
+	if gate != nil {
+		<-gate
+	}
+	return nil, errors.New("segment disk full")
+}
+
+// TestParkedAppendSurfacesSealError pins the other half of the backpressure
+// contract: an appender parked on a seal batch that fails must wake with the
+// batch's error, not ack silently while background retries cycle the failed
+// windows through detach/requeue forever and stale WALs accumulate.
+func TestParkedAppendSurfacesSealError(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	fs := &sealFaultFS{FS: faults.Disk{}, gate: gate, entered: entered}
+	opts := testOptions()
+	opts.FS = fs
+	opts.AutoSealRecords = 16
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(1996, 3, 1, 0, 0, 0, 0, time.UTC)
+	w := s.Writer()
+	appendErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < 100000; i++ {
+			prefix := netaddr.MustPrefix(netaddr.Addr(0xc6000000|uint32(i%200)<<8), 24)
+			rec := mkRecord(base.Add(time.Duration(i)*time.Millisecond), 100, 7000, prefix, true)
+			if err := w.Append(rec); err != nil {
+				appendErr <- err
+				return
+			}
+		}
+		appendErr <- nil
+	}()
+	// The first auto-seal is parked inside Create; once the appender has run
+	// a full threshold ahead it parks on the batch. Release the create so the
+	// batch fails under the parked appender.
+	<-entered
+	for {
+		s.mu.Lock()
+		parked := s.memN >= 2*opts.AutoSealRecords
+		s.mu.Unlock()
+		if parked {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	select {
+	case err := <-appendErr:
+		if err == nil {
+			t.Fatal("append stream completed without surfacing the seal failure")
+		}
+		if !strings.Contains(err.Error(), "segment disk full") {
+			t.Fatalf("append error = %v, want the seal failure", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("appender never surfaced the seal failure")
+	}
+	s.mu.Lock()
+	s.wal.close()
+	s.closed = true
+	s.mu.Unlock()
 }

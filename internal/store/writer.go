@@ -27,7 +27,7 @@ func (w *Writer) Append(rec collector.Record) error {
 	s := w.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || s.closing {
 		return fmt.Errorf("store: writer used after Close")
 	}
 	if err := w.appendLocked(rec); err != nil {
@@ -44,7 +44,7 @@ func (w *Writer) AppendBatch(recs []collector.Record) error {
 	s := w.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || s.closing {
 		return fmt.Errorf("store: writer used after Close")
 	}
 	for _, rec := range recs {
@@ -117,8 +117,19 @@ func (w *Writer) maintainLocked() error {
 		<-b.done
 		s.mu.Lock()
 		obsSealStallSeconds.ObserveSince(t0)
-		if s.closed {
-			// A concurrent Close sealed everything, this append included.
+		if b.err != nil {
+			// The batch we waited out failed and requeued its windows.
+			// Background retries never report to anyone, so a persistent
+			// fault would silently cycle detach/requeue while stale WALs
+			// pile up; surface the seal error to ingest instead (the
+			// records stay queued and WAL-covered).
+			return b.err
+		}
+		if s.closed || s.closing {
+			// A concurrent Close seals everything, this append included.
+			// Starting another batch here would hand Close a fresh seal to
+			// join every time it wakes — under sustained appends it never
+			// drains. Stand down and let Close's sweep finish the job.
 			return nil
 		}
 		if s.sealing == nil && s.memN >= s.opts.AutoSealRecords {

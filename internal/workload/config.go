@@ -17,6 +17,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -39,7 +40,76 @@ const (
 	// CollectorOutage drops the collector for part of a day (the white
 	// regions of Figure 3 and the gap in Figure 10).
 	CollectorOutage
+
+	// The adversarial scenarios below are the detection benchmark suite
+	// (ROADMAP "attack & anomaly scenarios"): each active day emits one
+	// scripted episode plus a labeled ground-truth interval retrievable
+	// via Generator.GroundTruth. They draw from a dedicated RNG, so
+	// adding them to a config never perturbs the background stream.
+
+	// PrefixHijack has one exchange peer originate a set of victim
+	// prefixes with itself as origin AS (a multi-origin conflict), hold
+	// them for the episode, then withdraw.
+	PrefixHijack
+	// RouteLeak has one peer re-announce a large set of other peers'
+	// routes with itself prepended (origin preserved — no MOAS), the
+	// classic full-table leak.
+	RouteLeak
+	// PathPoisoning rapidly oscillates the AS-path variants of a few
+	// targeted routes on a 30-second timer: concentrated AADiff churn.
+	PathPoisoning
+	// SessionResetStorm repeatedly bounces one peer's session: full
+	// withdraw of its routes, session down/up, identical re-announce.
+	SessionResetStorm
+	// WormPropagation couples the exchange-wide event rate to a logistic
+	// infection ramp: global volume novelty with no single culprit.
+	WormPropagation
 )
+
+// String returns the scenario name used in ground-truth labels and CLI
+// flags (background incidents use their Go identifier).
+func (k IncidentKind) String() string {
+	switch k {
+	case PathologicalFlood:
+		return "flood"
+	case InfrastructureUpgrade:
+		return "upgrade"
+	case CollectorOutage:
+		return "outage"
+	case PrefixHijack:
+		return "hijack"
+	case RouteLeak:
+		return "leak"
+	case PathPoisoning:
+		return "poison"
+	case SessionResetStorm:
+		return "storm"
+	case WormPropagation:
+		return "worm"
+	}
+	return fmt.Sprintf("IncidentKind(%d)", int(k))
+}
+
+// AdversaryScenarios lists the adversarial kinds in order, keyed by the
+// names accepted by ParseScenario and emitted in ground-truth labels.
+var AdversaryScenarios = []IncidentKind{
+	PrefixHijack, RouteLeak, PathPoisoning, SessionResetStorm, WormPropagation,
+}
+
+// ParseScenario resolves an adversarial scenario name ("hijack", "leak",
+// "poison", "storm", "worm").
+func ParseScenario(name string) (IncidentKind, error) {
+	for _, k := range AdversaryScenarios {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown scenario %q (want hijack|leak|poison|storm|worm)", name)
+}
+
+// adversarial reports whether the kind is one of the scripted attack
+// scenarios.
+func (k IncidentKind) adversarial() bool { return k >= PrefixHijack }
 
 // Incident is one scripted disturbance.
 type Incident struct {
@@ -166,6 +236,50 @@ func SmallConfig() Config {
 	}
 	cfg.Days = 7
 	cfg.Incidents = nil
+	return cfg
+}
+
+// scenarioMagnitude is the canonical episode magnitude per scenario in
+// the detection benchmark configs (worm runs hotter so the global ramp
+// clears the volume floor decisively).
+func scenarioMagnitude(kind IncidentKind) float64 {
+	if kind == WormPropagation {
+		return 1.5
+	}
+	return 1
+}
+
+// ScenarioConfig returns a deterministic detection benchmark: the
+// SmallConfig background plus `episodes` consecutive daily episodes of
+// one adversarial scenario, starting after the detector's warmup window.
+// Saturday spikes are disabled so the only injected anomalies are the
+// labeled ones.
+func ScenarioConfig(kind IncidentKind, episodes int, seed int64) Config {
+	cfg := SmallConfig()
+	cfg.Seed = seed
+	cfg.SaturdaySpikeProb = 0
+	cfg.Days = episodes + 3
+	cfg.Incidents = []Incident{
+		{Kind: kind, Day: 2, Days: episodes, Magnitude: scenarioMagnitude(kind)},
+	}
+	return cfg
+}
+
+// AdversaryConfig returns the combined detection benchmark: all five
+// adversarial scenarios on consecutive days over the SmallConfig
+// background.
+func AdversaryConfig(seed int64) Config {
+	cfg := SmallConfig()
+	cfg.Seed = seed
+	cfg.SaturdaySpikeProb = 0
+	cfg.Days = 9
+	cfg.Incidents = []Incident{
+		{Kind: PrefixHijack, Day: 2, Days: 1, Magnitude: 1},
+		{Kind: RouteLeak, Day: 3, Days: 1, Magnitude: 1},
+		{Kind: PathPoisoning, Day: 4, Days: 1, Magnitude: 1},
+		{Kind: SessionResetStorm, Day: 5, Days: 1, Magnitude: 1},
+		{Kind: WormPropagation, Day: 6, Days: 1, Magnitude: 1.5},
+	}
 	return cfg
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"instability/internal/bgp"
 	"instability/internal/collector"
+	"instability/internal/detect"
 	"instability/internal/intern"
 	"instability/internal/topology"
 )
@@ -43,6 +44,13 @@ type Generator struct {
 	cumBuf     []float64
 	eventBuf   []pendingEvent
 	propensity map[bgp.ASN]float64
+
+	// advRng drives the adversarial scenarios only (nil unless one is
+	// configured), so scripting an attack never perturbs the background
+	// stream's RNG sequence. truths collects the labeled ground-truth
+	// intervals those scenarios emit.
+	advRng *rand.Rand
+	truths []detect.Truth
 }
 
 // pendingEvent is one drawn-but-not-yet-expanded instability event.
@@ -81,6 +89,8 @@ type Stats struct {
 	Days         int
 	OutageDays   map[int]bool
 	FloodRecords int
+	// AdversaryRecords counts records emitted by adversarial scenarios.
+	AdversaryRecords int
 }
 
 // New builds a generator (and its topology) from cfg.
@@ -118,7 +128,21 @@ func New(cfg Config) (*Generator, error) {
 			g.statelessPeers = append(g.statelessPeers, peerInfo{as: p, addr: *topo.ASes[p]})
 		}
 	}
+	for _, inc := range cfg.Incidents {
+		if inc.Kind.adversarial() {
+			g.advRng = rand.New(rand.NewSource(cfg.Seed ^ advSeedMix))
+			break
+		}
+	}
 	return g, nil
+}
+
+// GroundTruth returns the labeled anomaly intervals emitted by the
+// adversarial scenarios generated so far (complete after Run).
+func (g *Generator) GroundTruth() []detect.Truth {
+	out := make([]detect.Truth, len(g.truths))
+	copy(out, g.truths)
+	return out
 }
 
 // Topology exposes the generated topology.
@@ -208,6 +232,7 @@ func (g *Generator) generateDay(day int) []collector.Record {
 	// Scripted incidents in effect today.
 	var upgrade, flood bool
 	var floodMag float64
+	var adversaries []Incident
 	for _, inc := range cfg.Incidents {
 		days := inc.Days
 		if days < 1 {
@@ -224,6 +249,10 @@ func (g *Generator) generateDay(day int) []collector.Record {
 			floodMag = inc.Magnitude
 		case CollectorOutage:
 			g.stats.OutageDays[day] = true
+		default:
+			if inc.Kind.adversarial() {
+				adversaries = append(adversaries, inc)
+			}
 		}
 	}
 
@@ -357,6 +386,15 @@ func (g *Generator) generateDay(day int) []collector.Record {
 			}
 		}
 		recs = kept
+	}
+
+	// Adversarial episodes ride on top of (and are never censored by)
+	// the background machinery: one scripted episode per active day,
+	// each recording its ground-truth interval.
+	for _, inc := range adversaries {
+		before := len(recs)
+		recs = g.adversaryDay(inc, dayStart, recs)
+		g.stats.AdversaryRecords += len(recs) - before
 	}
 	return recs
 }
@@ -548,12 +586,14 @@ func (g *Generator) quantize(st *routeState, t time.Time) time.Time {
 
 // poisson draws a Poisson variate with mean lambda (normal approximation for
 // large lambda).
-func (g *Generator) poisson(lambda float64) int {
+func (g *Generator) poisson(lambda float64) int { return poissonRand(g.rng, lambda) }
+
+func poissonRand(rng *rand.Rand, lambda float64) int {
 	if lambda <= 0 {
 		return 0
 	}
 	if lambda > 30 {
-		v := lambda + math.Sqrt(lambda)*g.rng.NormFloat64()
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
 		if v < 0 {
 			return 0
 		}
@@ -563,7 +603,7 @@ func (g *Generator) poisson(lambda float64) int {
 	k := 0
 	p := 1.0
 	for {
-		p *= g.rng.Float64()
+		p *= rng.Float64()
 		if p <= l {
 			return k
 		}

@@ -45,6 +45,11 @@ type ParallelPipeline struct {
 	// event. Called from shard goroutines: concurrently across keys, in
 	// order within one (peer, prefix) key.
 	Events func(core.Event)
+	// DayEnd, when set, observes every day barrier on the feeder
+	// goroutine, after all shards have drained the day's events — the
+	// hook point for window-finalizing consumers such as the anomaly
+	// detector (every Events call for the day happens-before DayEnd).
+	DayEnd func(core.Date)
 
 	shards    []*shard
 	batches   [][]shardRec
@@ -351,6 +356,9 @@ func (pp *ParallelPipeline) barrier(day core.Date, snapshot, census bool) []rib.
 func (pp *ParallelPipeline) EndDay(date core.Date) {
 	parts := pp.barrier(date, true, true)
 	pp.CensusByDay[date] = rib.MergeCensuses(parts...)
+	if pp.DayEnd != nil {
+		pp.DayEnd(date)
+	}
 }
 
 // Sync flushes and merges without taking a day snapshot, making Acc current
